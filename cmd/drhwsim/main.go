@@ -1,0 +1,160 @@
+// Command drhwsim runs one simulation of a workload on the modelled
+// DRHW platform and prints the aggregate reconfiguration statistics.
+//
+// Usage:
+//
+//	drhwsim [-workload multimedia|pocketgl] [-approach A] [-tiles N]
+//	        [-iterations N] [-seed S] [-policy lru|fifo|belady|random]
+//	        [-schedcost] [-no-intertask]
+//
+// Approaches: no-prefetch, design-time, run-time, run-time+inter-task,
+// hybrid (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/reconfig"
+	"drhwsched/internal/sim"
+	"drhwsched/internal/tcm"
+	"drhwsched/internal/workload"
+)
+
+func main() {
+	var (
+		wl          = flag.String("workload", "multimedia", "workload: multimedia|pocketgl (ignored with -config)")
+		config      = flag.String("config", "", "JSON workload file (see internal/workload JSON schema)")
+		export      = flag.Bool("export", false, "print the selected built-in workload as JSON and exit")
+		approach    = flag.String("approach", "hybrid", "no-prefetch|design-time|run-time|run-time+inter-task|hybrid")
+		tiles       = flag.Int("tiles", 8, "number of DRHW tiles")
+		isps        = flag.Int("isps", 1, "number of instruction-set processors")
+		iterations  = flag.Int("iterations", 1000, "iterations")
+		seed        = flag.Int64("seed", 1, "random seed")
+		policy      = flag.String("policy", "lru", "replacement policy: lru|fifo|belady|random")
+		schedCost   = flag.Bool("schedcost", false, "model the run-time scheduler's own CPU cost")
+		noInterTask = flag.Bool("no-intertask", false, "disable the inter-task optimization (hybrid only)")
+		deadlineMS  = flag.Float64("deadline", 0, "per-iteration deadline in ms; >0 activates TCM energy-aware point selection")
+	)
+	flag.Parse()
+
+	var mix []sim.TaskMix
+	switch {
+	case *config != "":
+		data, err := os.ReadFile(*config)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
+			os.Exit(1)
+		}
+		tasks, weights, err := workload.ParseMix(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
+			os.Exit(1)
+		}
+		for i, task := range tasks {
+			mix = append(mix, sim.TaskMix{Task: task, ScenarioWeights: weights[i]})
+		}
+	case *wl == "multimedia":
+		for _, app := range workload.Multimedia() {
+			mix = append(mix, sim.TaskMix{Task: app.Task, ScenarioWeights: app.ScenarioWeights})
+		}
+	case *wl == "pocketgl":
+		mix = []sim.TaskMix{{Task: workload.PocketGL().Task}}
+	default:
+		fmt.Fprintf(os.Stderr, "drhwsim: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	if *export {
+		var tasks []*tcm.Task
+		var weights [][]float64
+		for _, m := range mix {
+			tasks = append(tasks, m.Task)
+			weights = append(weights, m.ScenarioWeights)
+		}
+		data, err := workload.ExportMix(*wl, tasks, weights)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	var ap sim.Approach
+	switch *approach {
+	case "no-prefetch":
+		ap = sim.NoPrefetch
+	case "design-time":
+		ap = sim.DesignTimePrefetch
+	case "run-time":
+		ap = sim.RunTime
+	case "run-time+inter-task":
+		ap = sim.RunTimeInterTask
+	case "hybrid":
+		ap = sim.Hybrid
+	default:
+		fmt.Fprintf(os.Stderr, "drhwsim: unknown approach %q\n", *approach)
+		os.Exit(2)
+	}
+
+	var pol reconfig.Policy
+	lookahead := false
+	switch *policy {
+	case "lru":
+		pol = reconfig.LRU{}
+	case "fifo":
+		pol = reconfig.FIFO{}
+	case "belady":
+		pol = reconfig.Belady{}
+		lookahead = true
+	case "random":
+		pol = reconfig.Random{Rng: rand.New(rand.NewSource(*seed))}
+	default:
+		fmt.Fprintf(os.Stderr, "drhwsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	p := platform.Default(*tiles)
+	p.ISPs = *isps
+	r, err := sim.Run(mix, p, sim.Options{
+		Approach:         ap,
+		Iterations:       *iterations,
+		Seed:             *seed,
+		Policy:           pol,
+		Lookahead:        lookahead,
+		SchedulerCost:    *schedCost,
+		DisableInterTask: *noInterTask,
+		Deadline:         model.MS(*deadlineMS),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload            %s\n", *wl)
+	fmt.Printf("platform            %s\n", p)
+	fmt.Printf("approach            %s\n", r.Approach)
+	fmt.Printf("iterations          %d (%d task instances, %d subtasks)\n", r.Iterations, r.Instances, r.Subtasks)
+	fmt.Printf("ideal time          %v\n", r.IdealTotal)
+	fmt.Printf("actual time         %v\n", r.ActualTotal)
+	fmt.Printf("overhead            %.2f%%\n", r.OverheadPct)
+	fmt.Printf("loads               %d (%d in initialization phases, %d cancelled, %d saved)\n",
+		r.Loads, r.InitLoads, r.Cancelled, r.SavedLoads)
+	fmt.Printf("reuse               %.1f%% of subtask instances\n", r.ReusePct)
+	fmt.Printf("reconfig energy     %.1f mJ\n", r.LoadEnergy)
+	if r.CriticalPct > 0 {
+		fmt.Printf("critical subtasks   %.0f%% (average across analyses)\n", r.CriticalPct)
+	}
+	if *schedCost {
+		fmt.Printf("scheduler CPU cost  %v (modelled)\n", r.SchedCost)
+	}
+	if *deadlineMS > 0 {
+		fmt.Printf("deadline            %vms, %d missed iteration(s), point energy %.0f mJ\n",
+			*deadlineMS, r.DeadlineMisses, r.PointEnergy)
+	}
+}

@@ -1,0 +1,127 @@
+// Command schedviz renders the schedule of one task instance as an
+// ASCII Gantt chart — the same view as the paper's Figures 3 and 5 —
+// under a chosen prefetch policy.
+//
+// Usage:
+//
+//	schedviz [-workload multimedia|pocketgl] [-app N] [-scenario N]
+//	         [-tiles N] [-mode ondemand|list|optimal|hybrid] [-events]
+//
+// The hybrid mode shows the cold-start execution: initialization loads
+// first, then the stored design-time schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/core"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/prefetch"
+	"drhwsched/internal/schedule"
+	"drhwsched/internal/trace"
+	"drhwsched/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "multimedia", "workload: multimedia|pocketgl")
+		appIdx   = flag.Int("app", 0, "application index within the workload")
+		scenario = flag.Int("scenario", 0, "scenario index")
+		tiles    = flag.Int("tiles", 4, "number of DRHW tiles")
+		mode     = flag.String("mode", "list", "ondemand|list|optimal|hybrid")
+		events   = flag.Bool("events", false, "also print the event log")
+		width    = flag.Int("width", 72, "chart width in characters")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *wl {
+	case "multimedia":
+		apps := workload.Multimedia()
+		if *appIdx < 0 || *appIdx >= len(apps) {
+			fail("app index out of range (0..%d)", len(apps)-1)
+		}
+		task := apps[*appIdx].Task
+		if *scenario < 0 || *scenario >= len(task.Scenarios) {
+			fail("scenario out of range (0..%d)", len(task.Scenarios)-1)
+		}
+		g = task.Scenarios[*scenario]
+	case "pocketgl":
+		task := workload.PocketGL().Task
+		if *scenario < 0 || *scenario >= len(task.Scenarios) {
+			fail("scenario out of range (0..%d)", len(task.Scenarios)-1)
+		}
+		g = task.Scenarios[*scenario]
+	default:
+		fail("unknown workload %q", *wl)
+	}
+
+	p := platform.Default(*tiles)
+	s, err := assign.List(g, p, assign.Options{})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("%s on %s (%s mode)\n", g.Name, p, *mode)
+	fmt.Printf("subtasks: %d, ideal makespan %v\n\n", g.Len(), s.IdealMakespan)
+
+	if *mode == "hybrid" {
+		a, err := core.Analyze(s, p, core.Options{})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("critical subtasks: %v (%.0f%%)\n", a.CS, 100*a.CriticalFraction())
+		r, err := a.Execute(core.RunBounds{}, nil)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("cold start: init %d loads until %v, overhead %v (%.1f%%)\n\n",
+			len(r.Plan.InitLoads), r.InitEnd, r.Overhead, 100*float64(r.Overhead)/float64(r.Ideal))
+		in := s.EngineInput(p, r.Plan.BodyLoads)
+		in.ExecFloor = r.BodyStart
+		in.LoadFloor = r.InitEnd
+		fmt.Print(trace.Gantt(in, r.Timeline, trace.Options{Width: *width}))
+		if *events {
+			fmt.Println()
+			fmt.Print(trace.Events(in, r.Timeline))
+		}
+		return
+	}
+
+	var sched prefetch.Scheduler
+	switch *mode {
+	case "ondemand":
+		sched = prefetch.OnDemand{}
+	case "list":
+		sched = prefetch.List{}
+	case "optimal":
+		sched = prefetch.BranchBound{}
+	default:
+		fail("unknown mode %q", *mode)
+	}
+	r, err := sched.Schedule(s, p, s.AllLoads(), prefetch.Bounds{})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("makespan %v, overhead %v (%.1f%%)\n\n",
+		r.Makespan, r.Overhead, 100*float64(r.Overhead)/float64(r.Ideal))
+	in := s.EngineInput(p, r.PortOrder)
+	in.OnDemand = r.OnDemand
+	if err := schedule.Verify(in, r.Timeline); err != nil {
+		fail("internal: %v", err)
+	}
+	fmt.Print(trace.Gantt(in, r.Timeline, trace.Options{Width: *width}))
+	if *events {
+		fmt.Println()
+		fmt.Print(trace.Events(in, r.Timeline))
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "schedviz: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,234 @@
+// Package drhwsched is a library for scheduling run-time
+// reconfigurations of dynamically reconfigurable hardware (DRHW), a
+// faithful reimplementation of:
+//
+//	J. Resano, D. Mozos, F. Catthoor.
+//	"A Hybrid Prefetch Scheduling Heuristic to Minimize at Run-Time
+//	the Reconfiguration Overhead of Dynamically Reconfigurable
+//	Hardware", DATE 2005.
+//
+// The package exposes the building blocks as type and function aliases
+// over the implementation packages:
+//
+//   - task graphs (NewGraph) and the tile platform (DefaultPlatform);
+//   - the initial list scheduler that neglects reconfigurations
+//     (ListSchedule);
+//   - the prefetch schedulers: OnDemand (no prefetch), List (the
+//     run-time heuristic of the authors' earlier work) and BranchBound
+//     (optimal);
+//   - the paper's contribution: Analyze, which computes the minimal
+//     Critical Subtask set and the stored design-time schedule, and
+//     Analysis.Execute, the O(N) run-time phase with load
+//     cancellation and the inter-task optimization;
+//   - the reuse/replacement state (NewTileState, MapTiles, Resident);
+//   - the system simulator (Simulate) that reproduces the paper's
+//     experiments.
+//
+// # Quick start
+//
+//	g := drhwsched.NewGraph("pipeline")
+//	a := g.AddSubtask("stage-a", 10*drhwsched.Millisecond)
+//	b := g.AddSubtask("stage-b", 10*drhwsched.Millisecond)
+//	g.AddEdge(a, b)
+//
+//	p := drhwsched.DefaultPlatform(3) // 3 tiles, 4 ms loads, 1 port
+//	s, _ := drhwsched.ListSchedule(g, p, drhwsched.ScheduleOptions{})
+//	analysis, _ := drhwsched.Analyze(s, p, drhwsched.AnalyzeOptions{})
+//	run, _ := analysis.Execute(drhwsched.RunBounds{}, nil)
+//	fmt.Println(run.Overhead) // reconfiguration overhead of a cold start
+//
+// See the examples directory for complete programs.
+package drhwsched
+
+import (
+	"drhwsched/internal/assign"
+	"drhwsched/internal/core"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/prefetch"
+	"drhwsched/internal/reconfig"
+	"drhwsched/internal/sim"
+	"drhwsched/internal/tcm"
+)
+
+// Time and duration quantities (microsecond-resolution integers).
+type (
+	// Time is an absolute instant on the simulated clock.
+	Time = model.Time
+	// Dur is a span of simulated time.
+	Dur = model.Dur
+)
+
+// Duration units.
+const (
+	Microsecond = model.Microsecond
+	Millisecond = model.Millisecond
+	Second      = model.Second
+)
+
+// MS converts (possibly fractional) milliseconds to a Dur.
+func MS(ms float64) Dur { return model.MS(ms) }
+
+// Task graphs.
+type (
+	// Graph is a task's subtask DAG.
+	Graph = graph.Graph
+	// SubtaskID identifies a subtask within its graph.
+	SubtaskID = graph.SubtaskID
+	// ConfigID identifies a reconfigurable-hardware configuration
+	// (bitstream); subtasks sharing a ConfigID can reuse each other's
+	// tile state.
+	ConfigID = graph.ConfigID
+)
+
+// NewGraph creates an empty task graph.
+func NewGraph(name string) *Graph { return graph.New(name) }
+
+// Platform description.
+type Platform = platform.Platform
+
+// DefaultPlatform returns the paper's platform: n tiles, 4 ms
+// reconfiguration latency, one reconfiguration controller.
+func DefaultPlatform(n int) Platform { return platform.Default(n) }
+
+// Initial scheduling (the schedule the prefetch problem starts from).
+type (
+	// Schedule is an initial subtask schedule computed while
+	// neglecting reconfiguration latency.
+	Schedule = assign.Schedule
+	// ScheduleOptions tune the initial list scheduler.
+	ScheduleOptions = assign.Options
+)
+
+// Placement policies of the initial scheduler.
+const (
+	// PlaceSpread rotates pipelines across tiles so loads can be
+	// prefetched (the default).
+	PlaceSpread = assign.Spread
+	// PlacePack clusters subtasks onto few tiles (ablation only).
+	PlacePack = assign.Pack
+)
+
+// ListSchedule builds the initial schedule for g on p.
+func ListSchedule(g *Graph, p Platform, opt ScheduleOptions) (*Schedule, error) {
+	return assign.List(g, p, opt)
+}
+
+// Prefetch schedulers.
+type (
+	// PrefetchScheduler orders configuration loads on the
+	// reconfiguration controller.
+	PrefetchScheduler = prefetch.Scheduler
+	// PrefetchBounds are one task instance's boundary conditions.
+	PrefetchBounds = prefetch.Bounds
+	// PrefetchResult is an evaluated prefetch schedule.
+	PrefetchResult = prefetch.Result
+	// OnDemand loads every configuration when its subtask is ready
+	// (the "without prefetch" baseline).
+	OnDemand = prefetch.OnDemand
+	// ListPrefetch is the near-optimal O(N log N) run-time heuristic.
+	ListPrefetch = prefetch.List
+	// BranchBound finds the optimal load order.
+	BranchBound = prefetch.BranchBound
+)
+
+// The hybrid design-time/run-time heuristic (the paper's contribution).
+type (
+	// Analysis is the stored design-time artifact: the Critical
+	// Subtask set and the optimal schedule of the remaining loads.
+	Analysis = core.Analysis
+	// AnalyzeOptions tune the design-time phase.
+	AnalyzeOptions = core.Options
+	// RunBounds are a task arrival's boundary conditions.
+	RunBounds = core.RunBounds
+	// RunResult is the evaluated execution of one arrival.
+	RunResult = core.RunResult
+	// InstancePlan is the run-time phase's O(N) output.
+	InstancePlan = core.InstancePlan
+)
+
+// Analyze runs the design-time phase of the hybrid heuristic.
+func Analyze(s *Schedule, p Platform, opt AnalyzeOptions) (*Analysis, error) {
+	return core.Analyze(s, p, opt)
+}
+
+// Reuse and replacement.
+type (
+	// TileState tracks the configurations resident on physical tiles.
+	TileState = reconfig.State
+	// TileMapping places a schedule's virtual tiles onto physical
+	// tiles.
+	TileMapping = reconfig.Mapping
+	// MapTileOptions tune the placement.
+	MapTileOptions = reconfig.MapOptions
+	// ReplacementPolicy selects eviction victims.
+	ReplacementPolicy = reconfig.Policy
+	// LRU, FIFO, Belady and RandomPolicy are the provided policies.
+	LRU          = reconfig.LRU
+	FIFO         = reconfig.FIFO
+	Belady       = reconfig.Belady
+	RandomPolicy = reconfig.Random
+)
+
+// NewTileState returns an all-empty tile state.
+func NewTileState(tiles int) *TileState { return reconfig.NewState(tiles) }
+
+// MapTiles chooses the virtual-to-physical tile placement maximizing
+// (critical-first) reuse.
+func MapTiles(s *Schedule, st *TileState, opt MapTileOptions) (TileMapping, error) {
+	return reconfig.Map(s, st, opt)
+}
+
+// Resident reports which subtasks need no load under a mapping.
+func Resident(s *Schedule, st *TileState, m TileMapping) map[SubtaskID]bool {
+	return reconfig.Resident(s, st, m)
+}
+
+// TCM environment.
+type (
+	// Task is a dynamic task with one graph per scenario.
+	Task = tcm.Task
+	// ParetoPoint is one design-time (time, energy) solution.
+	ParetoPoint = tcm.ParetoPoint
+	// Curve is a scenario's Pareto curve.
+	Curve = tcm.Curve
+	// DesignSpace holds every curve of a task set.
+	DesignSpace = tcm.DesignSpace
+	// DTOptions tune the design-time exploration.
+	DTOptions = tcm.DTOptions
+)
+
+// NewTask builds a task from its scenario graphs.
+func NewTask(name string, scenarios ...*Graph) *Task { return tcm.NewTask(name, scenarios...) }
+
+// DesignTime explores the Pareto curves of a task set.
+func DesignTime(tasks []*Task, p Platform, opt DTOptions) (*DesignSpace, error) {
+	return tcm.DesignTime(tasks, p, opt)
+}
+
+// System simulation.
+type (
+	// SimOptions configure a simulation run.
+	SimOptions = sim.Options
+	// SimResult aggregates a simulation.
+	SimResult = sim.Result
+	// TaskMix is one application in the simulated mix.
+	TaskMix = sim.TaskMix
+	// Approach selects the scheduling flow under test.
+	Approach = sim.Approach
+)
+
+// The five simulated scheduling flows of the paper's §7.
+const (
+	NoPrefetch         = sim.NoPrefetch
+	DesignTimePrefetch = sim.DesignTimePrefetch
+	RunTime            = sim.RunTime
+	RunTimeInterTask   = sim.RunTimeInterTask
+	Hybrid             = sim.Hybrid
+)
+
+// Simulate runs a dynamic application mix on the modelled platform.
+func Simulate(mix []TaskMix, p Platform, opt SimOptions) (*SimResult, error) {
+	return sim.Run(mix, p, opt)
+}

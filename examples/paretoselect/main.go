@@ -1,0 +1,66 @@
+// Paretoselect: the TCM side of the paper's framework. The design-time
+// scheduler explores (time, energy) Pareto curves per task scenario;
+// the run-time scheduler then picks, every iteration, the cheapest
+// combination of points that still meets the timing constraint — and
+// the hybrid prefetch modules run inside whichever point was selected.
+// The example prints one task's curve and sweeps the deadline to show
+// the selector trading energy for time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	drhw "drhwsched"
+	"drhwsched/internal/stats"
+)
+
+func main() {
+	// A transform task with six parallel kernels: a rich tile/time
+	// tradeoff.
+	g := drhw.NewGraph("transform")
+	src := g.AddSubtask("scatter", 2*drhw.Millisecond)
+	sink := g.AddSubtask("gather", 2*drhw.Millisecond)
+	for i := 0; i < 6; i++ {
+		k := g.AddSubtask(fmt.Sprintf("kernel-%d", i), 12*drhw.Millisecond)
+		g.AddEdge(src, k)
+		g.AddEdge(k, sink)
+	}
+	task := drhw.NewTask("transform", g)
+	p := drhw.DefaultPlatform(6)
+
+	ds, err := drhw.DesignTime([]*drhw.Task{task}, p, drhw.DTOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve := ds.Curve(0, 0)
+	fmt.Println("Pareto curve (design time):")
+	tab := stats.NewTable("tiles", "ideal time", "energy estimate (mJ)")
+	for _, pt := range curve.Points {
+		tab.AddRow(fmt.Sprintf("%d", pt.Tiles), pt.Time.String(), fmt.Sprintf("%.0f", pt.Energy))
+	}
+	fmt.Println(tab)
+
+	fmt.Println("run-time selection under a deadline sweep (hybrid prefetch, 200 iterations):")
+	out := stats.NewTable("deadline", "ideal total", "overhead %", "point energy (mJ)", "misses")
+	for _, ms := range []float64{18, 30, 45, 80, 1000} {
+		r, err := drhw.Simulate([]drhw.TaskMix{{Task: task}}, p, drhw.SimOptions{
+			Approach:      drhw.Hybrid,
+			Iterations:    200,
+			InclusionProb: 1,
+			Deadline:      drhw.MS(ms),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.AddRow(fmt.Sprintf("%.0fms", ms), r.IdealTotal.String(),
+			fmt.Sprintf("%.2f", r.OverheadPct),
+			fmt.Sprintf("%.0f", r.PointEnergy),
+			fmt.Sprintf("%d", r.DeadlineMisses))
+	}
+	fmt.Println(out)
+	fmt.Println("tighter deadlines force faster, hungrier points. At the extreme")
+	fmt.Println("(6 tiles for 8 subtasks) the task becomes reconfiguration-bound:")
+	fmt.Println("32ms of loads against a 16ms body, which no prefetcher can hide —")
+	fmt.Println("the paper's argument for reuse-aware scheduling in one table.")
+}

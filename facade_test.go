@@ -1,0 +1,90 @@
+package drhwsched_test
+
+import (
+	"testing"
+
+	drhw "drhwsched"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface the way a
+// downstream user would: graph construction, initial scheduling,
+// baseline prefetch schedulers, the hybrid analysis and run-time phase,
+// reuse state, TCM design space, and a short simulation.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := drhw.NewGraph("pipeline")
+	var ids []drhw.SubtaskID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, g.AddSubtask("s", 10*drhw.Millisecond))
+		if i > 0 {
+			g.AddEdge(ids[i-1], ids[i])
+		}
+	}
+
+	p := drhw.DefaultPlatform(3)
+	s, err := drhw.ListSchedule(g, p, drhw.ScheduleOptions{Placement: drhw.PlaceSpread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IdealMakespan != 40*drhw.Millisecond {
+		t.Fatalf("ideal = %v", s.IdealMakespan)
+	}
+
+	od, err := (drhw.OnDemand{}).Schedule(s, p, s.AllLoads(), drhw.PrefetchBounds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := (drhw.ListPrefetch{}).Schedule(s, p, s.AllLoads(), drhw.PrefetchBounds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := (drhw.BranchBound{}).Schedule(s, p, s.AllLoads(), drhw.PrefetchBounds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bb.Overhead <= lp.Overhead && lp.Overhead <= od.Overhead) {
+		t.Fatalf("hierarchy: bb=%v lp=%v od=%v", bb.Overhead, lp.Overhead, od.Overhead)
+	}
+
+	a, err := drhw.Analyze(s, p, drhw.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := a.Execute(drhw.RunBounds{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Overhead != 4*drhw.Millisecond {
+		t.Fatalf("cold overhead = %v", run.Overhead)
+	}
+
+	st := drhw.NewTileState(p.Tiles)
+	m, err := drhw.MapTiles(s, st, drhw.MapTileOptions{Critical: a.IsCritical, Policy: drhw.LRU{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := drhw.Resident(s, st, m); len(res) != 0 {
+		t.Fatalf("cold state claims residency: %v", res)
+	}
+
+	task := drhw.NewTask("app", g)
+	ds, err := drhw.DesignTime([]*drhw.Task{task}, p, drhw.DTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Curve(0, 0) == nil {
+		t.Fatal("missing curve")
+	}
+
+	r, err := drhw.Simulate([]drhw.TaskMix{{Task: task}}, p, drhw.SimOptions{
+		Approach: drhw.Hybrid, Iterations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OverheadPct < 0 {
+		t.Fatalf("overhead = %v", r.OverheadPct)
+	}
+	if drhw.MS(4).Milliseconds() != 4 {
+		t.Fatal("MS conversion")
+	}
+}

@@ -1,0 +1,354 @@
+// Package core implements the paper's contribution: the hybrid
+// design-time/run-time configuration-prefetch heuristic.
+//
+// # Design-time phase
+//
+// For every subtask schedule the TCM design-time scheduler can select,
+// Analyze computes the minimal set of Critical Subtasks (CS): the
+// subtasks whose reconfiguration latency the prefetch scheduler cannot
+// hide. The selection loop is the paper's Figure 4: starting from an
+// empty CS set, schedule all loads, find the subtasks whose loads delay
+// execution, move the one with the greatest criticality weight into the
+// CS set (assumed resident from then on), and repeat until the remaining
+// loads are fully hidden. The artifact stored for run time contains the
+// CS ordered by weight — the initialization-phase load order — and the
+// optimal port order for every non-critical load.
+//
+// # Run-time phase
+//
+// When an instance of the task arrives, the only work left is O(N)
+// bookkeeping, which is why the hybrid heuristic adds negligible
+// run-time overhead:
+//
+//  1. the reuse module reports which configurations are resident;
+//  2. critical subtasks that are not resident are loaded in the stored
+//     order (the initialization phase) — the design-time schedule only
+//     begins once they are in place;
+//  3. loads of resident non-critical subtasks are cancelled, saving
+//     reconfiguration energy without touching the timing (they were
+//     hidden by construction);
+//  4. the initialization phase is allowed to start as soon as the
+//     reconfiguration circuitry goes idle, which may be while the
+//     previous task still executes — the paper's inter-task
+//     optimization.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/prefetch"
+	"drhwsched/internal/schedule"
+)
+
+// Options tune the design-time analysis.
+type Options struct {
+	// Scheduler computes the prefetch schedules inside the CS-selection
+	// loop. Nil means BranchBound (optimal for small graphs, falling
+	// back to the list heuristic for large ones), as in the paper.
+	Scheduler prefetch.Scheduler
+	// MaxIterations caps the selection loop as a safety valve; zero
+	// means the number of subtasks (the loop adds one CS per round, so
+	// it cannot usefully run longer).
+	MaxIterations int
+	// AddAllDelayed moves every delayed subtask into the CS set per
+	// round instead of only the heaviest one. The CS set may end up
+	// slightly larger than minimal, but the loop converges in a few
+	// rounds — the practical choice for graphs with hundreds of
+	// subtasks.
+	AddAllDelayed bool
+}
+
+// Analysis is the stored design-time artifact for one (task, scenario,
+// Pareto point) combination.
+type Analysis struct {
+	Sched *assign.Schedule
+	P     platform.Platform
+
+	// CS holds the critical subtasks ordered by descending weight: the
+	// initialization-phase load order decided at design time.
+	CS []graph.SubtaskID
+	// BodyOrder is the design-time port order of the non-critical
+	// loads. With the CS resident, these loads are fully hidden.
+	BodyOrder []graph.SubtaskID
+	// Iterations is how many rounds the selection loop ran.
+	Iterations int
+
+	isCS []bool
+}
+
+// IsCritical reports whether a subtask belongs to the CS set.
+func (a *Analysis) IsCritical(id graph.SubtaskID) bool { return a.isCS[id] }
+
+// CriticalFraction is the share of subtasks that are critical (the
+// paper reports 62% for the 3D application).
+func (a *Analysis) CriticalFraction() float64 {
+	if a.Sched.G.Len() == 0 {
+		return 0
+	}
+	return float64(len(a.CS)) / float64(a.Sched.G.Len())
+}
+
+// Analyze runs the design-time phase on an initial schedule.
+func Analyze(s *assign.Schedule, p platform.Platform, opt Options) (*Analysis, error) {
+	if s == nil {
+		return nil, errors.New("core: nil schedule")
+	}
+	sched := opt.Scheduler
+	if sched == nil {
+		sched = prefetch.BranchBound{}
+	}
+	n := s.G.Len()
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = n + 1
+	}
+
+	a := &Analysis{Sched: s, P: p, isCS: make([]bool, n)}
+
+	for iter := 0; ; iter++ {
+		a.Iterations = iter
+		if iter > maxIter {
+			return nil, fmt.Errorf("core: CS selection did not converge on %q", s.G.Name)
+		}
+		loads := nonCriticalLoads(s, a.isCS)
+		res, err := sched.Schedule(s, p, loads, prefetch.Bounds{})
+		if err != nil {
+			return nil, fmt.Errorf("core: design-time prefetch: %w", err)
+		}
+		// The penalty of the paper's Fig. 4 is the total delay that
+		// loads still inflict: by the CS definition every remaining
+		// load must be *totally hidden*, not merely off the critical
+		// path. When no subtask is load-delayed the makespan equals
+		// the ideal one and the stored schedule has zero overhead.
+		delayed := delayedSubtasks(s, res)
+		if len(delayed) == 0 {
+			a.BodyOrder = append([]graph.SubtaskID(nil), res.PortOrder...)
+			break
+		}
+		if opt.AddAllDelayed {
+			for _, id := range delayed {
+				a.isCS[id] = true
+			}
+			continue
+		}
+		pick := delayed[0]
+		for _, id := range delayed[1:] {
+			if s.Weights[id] > s.Weights[pick] ||
+				(s.Weights[id] == s.Weights[pick] && id < pick) {
+				pick = id
+			}
+		}
+		a.isCS[pick] = true
+	}
+
+	// Initialization order: weight descending, ID tie-break.
+	for i := 0; i < n; i++ {
+		if a.isCS[i] {
+			a.CS = append(a.CS, graph.SubtaskID(i))
+		}
+	}
+	sort.SliceStable(a.CS, func(x, y int) bool {
+		cx, cy := a.CS[x], a.CS[y]
+		if s.Weights[cx] != s.Weights[cy] {
+			return s.Weights[cx] > s.Weights[cy]
+		}
+		return cx < cy
+	})
+	return a, nil
+}
+
+// nonCriticalLoads lists the loads of every hardware subtask outside
+// the CS set, in canonical issue order. ISP subtasks never load.
+func nonCriticalLoads(s *assign.Schedule, isCS []bool) []graph.SubtaskID {
+	var loads []graph.SubtaskID
+	for i := 0; i < s.G.Len(); i++ {
+		if !isCS[i] && !s.G.Subtask(graph.SubtaskID(i)).OnISP {
+			loads = append(loads, graph.SubtaskID(i))
+		}
+	}
+	s.SortByIdealStart(loads)
+	return loads
+}
+
+// delayedSubtasks finds the loaded subtasks whose own reconfiguration is
+// the binding constraint on their start: the execution begins exactly
+// when the load ends and strictly later than every other constraint
+// (predecessors, tile availability, floors) would require.
+func delayedSubtasks(s *assign.Schedule, res *prefetch.Result) []graph.SubtaskID {
+	tl := res.Timeline
+	var out []graph.SubtaskID
+	prevOnTile := make(map[graph.SubtaskID]graph.SubtaskID)
+	for _, order := range s.TileOrder {
+		for k := 1; k < len(order); k++ {
+			prevOnTile[order[k]] = order[k-1]
+		}
+	}
+	for _, id := range res.PortOrder {
+		if tl.ExecStart[id] != tl.LoadEnd[id] {
+			continue
+		}
+		alt := tl.Start
+		for _, p := range s.G.Preds(id) {
+			alt = model.MaxT(alt, tl.ExecEnd[p])
+		}
+		if prev, ok := prevOnTile[id]; ok {
+			alt = model.MaxT(alt, tl.ExecEnd[prev])
+		}
+		if tl.ExecStart[id] > alt {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// InstancePlan is the run-time phase's O(N) output for one task arrival.
+type InstancePlan struct {
+	// InitLoads are the critical subtasks that must be loaded before
+	// the design-time schedule starts, in the stored weight order.
+	InitLoads []graph.SubtaskID
+	// BodyLoads are the non-critical loads that survive cancellation,
+	// in the design-time port order.
+	BodyLoads []graph.SubtaskID
+	// Cancelled lists the non-critical loads removed because the
+	// configuration is resident (an energy saving).
+	Cancelled []graph.SubtaskID
+	// ReusedCritical lists CS members found resident (initialization
+	// work avoided).
+	ReusedCritical []graph.SubtaskID
+}
+
+// Plan applies the reuse information to the stored orders. resident
+// reports whether a subtask's configuration is already on its tile.
+func (a *Analysis) Plan(resident func(graph.SubtaskID) bool) InstancePlan {
+	var p InstancePlan
+	for _, id := range a.CS {
+		if resident != nil && resident(id) {
+			p.ReusedCritical = append(p.ReusedCritical, id)
+		} else {
+			p.InitLoads = append(p.InitLoads, id)
+		}
+	}
+	for _, id := range a.BodyOrder {
+		if resident != nil && resident(id) {
+			p.Cancelled = append(p.Cancelled, id)
+		} else {
+			p.BodyLoads = append(p.BodyLoads, id)
+		}
+	}
+	return p
+}
+
+// RunBounds are the boundary conditions of one task arrival, expressed
+// in the schedule's (virtual) tile space.
+type RunBounds struct {
+	// TaskStart is when the task may begin executing (typically the end
+	// of the previous task).
+	TaskStart model.Time
+	// PortFree is when the reconfiguration circuitry goes idle. With
+	// the inter-task optimization this is the previous task's last
+	// load end, usually well before TaskStart; without it, callers
+	// pass TaskStart.
+	PortFree model.Time
+	// TileFree gives, per virtual tile, when the tile drains. Nil
+	// means all tiles free.
+	TileFree []model.Time
+}
+
+// LoadWindow records one initialization-phase reconfiguration.
+type LoadWindow struct {
+	Subtask    graph.SubtaskID
+	Start, End model.Time
+}
+
+// RunResult is the evaluated execution of one task arrival under the
+// hybrid heuristic.
+type RunResult struct {
+	Plan InstancePlan
+	// InitWindows are the initialization-phase loads; InitEnd is when
+	// the last one finishes (PortFree if there were none).
+	InitWindows []LoadWindow
+	InitEnd     model.Time
+	// BodyStart is when the design-time schedule begins: the later of
+	// TaskStart and InitEnd.
+	BodyStart model.Time
+	// Timeline covers the task body (executions plus surviving
+	// non-critical loads).
+	Timeline *schedule.Timeline
+	// Makespan counts from TaskStart to the last execution; Ideal is
+	// the zero-overhead reference from TaskStart; Overhead their
+	// difference.
+	Makespan model.Dur
+	Ideal    model.Dur
+	Overhead model.Dur
+	// PortFreeAfter is when the reconfiguration circuitry goes idle
+	// after this task — the window the next task's initialization can
+	// use.
+	PortFreeAfter model.Time
+}
+
+// Execute evaluates one arrival: it runs the initialization phase on the
+// reconfiguration circuitry, then replays the design-time schedule with
+// the cancelled loads removed. resident reports configuration residency
+// per subtask (from the reuse module).
+func (a *Analysis) Execute(rb RunBounds, resident func(graph.SubtaskID) bool) (*RunResult, error) {
+	plan := a.Plan(resident)
+	r := &RunResult{Plan: plan}
+
+	// Initialization phase: serialized loads in stored order. Each
+	// waits for the circuitry and for its target tile to drain.
+	cur := rb.PortFree
+	tileFree := make([]model.Time, len(a.Sched.TileOrder))
+	if rb.TileFree != nil {
+		copy(tileFree, rb.TileFree)
+	}
+	r.InitEnd = cur
+	for _, id := range plan.InitLoads {
+		t := a.Sched.Assignment[id]
+		start := model.MaxT(cur, tileFree[t])
+		lat := a.P.LoadLatency(a.Sched.G.Subtask(id).Load)
+		end := start.Add(lat)
+		r.InitWindows = append(r.InitWindows, LoadWindow{id, start, end})
+		tileFree[t] = end
+		cur = end
+		r.InitEnd = end
+	}
+	r.BodyStart = model.MaxT(rb.TaskStart, r.InitEnd)
+
+	// Body: the design-time schedule with reused loads cancelled. The
+	// critical subtasks are resident by construction now.
+	in := a.Sched.EngineInput(a.P, plan.BodyLoads)
+	in.ExecFloor = r.BodyStart
+	in.LoadFloor = model.MaxT(rb.PortFree, r.InitEnd)
+	in.TileFree = tileFree
+	tl, err := schedule.Compute(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: body schedule: %w", err)
+	}
+	r.Timeline = tl
+
+	// Ideal reference: same decisions, no loads, starting at TaskStart
+	// with the tiles as the previous task left them.
+	ideal := schedule.Ideal(in)
+	ideal.ExecFloor = rb.TaskStart
+	if rb.TileFree != nil {
+		ideal.TileFree = rb.TileFree
+	} else {
+		ideal.TileFree = nil
+	}
+	idealTL, err := schedule.Compute(ideal)
+	if err != nil {
+		return nil, fmt.Errorf("core: ideal reference: %w", err)
+	}
+
+	r.Makespan = tl.End.Sub(rb.TaskStart)
+	r.Ideal = idealTL.End.Sub(rb.TaskStart)
+	r.Overhead = r.Makespan - r.Ideal
+	r.PortFreeAfter = model.MaxT(r.InitEnd, tl.LastLoadEnd)
+	return r, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	rows, tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if d := r.MeasuredIdealMS - r.PaperIdealMS; d > 0.5 || d < -0.5 {
+			t.Errorf("%s: ideal %.1f vs paper %.0f", r.App, r.MeasuredIdealMS, r.PaperIdealMS)
+		}
+		if r.MeasuredOverhead <= r.MeasuredPrefetch {
+			t.Errorf("%s: prefetch must beat on-demand", r.App)
+		}
+	}
+	if !strings.Contains(tab.String(), "MPEG encoder") {
+		t.Fatal("table rendering lost a row")
+	}
+}
+
+func TestFigure6ShapeSmall(t *testing.T) {
+	s, err := Figure6(FigureOptions{Iterations: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := s.Xs()
+	if len(xs) != 9 || xs[0] != 8 || xs[8] != 16 {
+		t.Fatalf("tile sweep = %v", xs)
+	}
+	for _, x := range xs {
+		np, _ := s.Get(x, "no-prefetch")
+		dt, _ := s.Get(x, "design-time")
+		rt, _ := s.Get(x, "run-time")
+		hy, _ := s.Get(x, "hybrid")
+		// The paper's ordering: no-prefetch >> design-time > the three
+		// reuse-aware heuristics.
+		if !(np > dt && dt > rt && dt > hy) {
+			t.Fatalf("ordering broken at %d tiles: np=%.1f dt=%.1f rt=%.1f hy=%.1f", x, np, dt, rt, hy)
+		}
+	}
+	// Reuse grows with tiles: the hybrid line must fall from 8 to 16.
+	h8, _ := s.Get(8, "hybrid")
+	h16, _ := s.Get(16, "hybrid")
+	if h16 > h8 {
+		t.Fatalf("hybrid overhead rose with tiles: %.2f -> %.2f", h8, h16)
+	}
+}
+
+func TestFigure7ShapeSmall(t *testing.T) {
+	s, err := Figure7(FigureOptions{Iterations: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := s.Xs()
+	if len(xs) != 6 || xs[0] != 5 || xs[5] != 10 {
+		t.Fatalf("tile sweep = %v", xs)
+	}
+	np, _ := s.Get(5, "no-prefetch")
+	dt, _ := s.Get(5, "design-time")
+	hy, _ := s.Get(5, "hybrid")
+	if np < 55 || np > 85 {
+		t.Fatalf("no-prefetch at 5 tiles = %.1f%%, paper ~71%%", np)
+	}
+	if dt < 15 || dt > 35 {
+		t.Fatalf("design-time at 5 tiles = %.1f%%, paper ~25%%", dt)
+	}
+	if hy > dt {
+		t.Fatalf("hybrid %.1f%% should beat design-time %.1f%%", hy, dt)
+	}
+	h10, _ := s.Get(10, "hybrid")
+	if h10 > 2.5 {
+		t.Fatalf("hybrid at 10 tiles = %.2f%%, paper <2%%", h10)
+	}
+}
+
+func TestSchedulerScalingSuperlinear(t *testing.T) {
+	rows, tab, err := SchedulerScaling([]int{14, 56, 224}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.RunTimeFactor < 16 {
+		t.Fatalf("run-time cost factor %.1fx for 16x size; expected superlinear growth", last.RunTimeFactor)
+	}
+	if last.HybridCost >= last.RunTimeCost {
+		t.Fatal("hybrid run-time phase should be much cheaper")
+	}
+	if tab.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	opt := FigureOptions{Iterations: 25, Seed: 2}
+	if _, err := AblationReplacement(opt); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := AblationInterTask(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("inter-task rows = %d", len(tab.Rows))
+	}
+	opt2, err := AblationOptimality(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt2.Rows) != 4 {
+		t.Fatalf("optimality rows = %d", len(opt2.Rows))
+	}
+	pl, err := AblationPlacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Rows) != 4 {
+		t.Fatalf("placement rows = %d", len(pl.Rows))
+	}
+}

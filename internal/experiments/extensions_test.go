@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"drhwsched/internal/model"
+)
+
+func TestLatencySweepShrinksOverhead(t *testing.T) {
+	s, err := LatencySweep(FigureOptions{Iterations: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := s.Xs()
+	if len(xs) != 5 {
+		t.Fatalf("latencies = %v", xs)
+	}
+	// Cheaper reconfiguration must never increase the no-prefetch
+	// overhead; at the 4 ms end the baseline must be the familiar ~70%.
+	prev := -1.0
+	for _, x := range xs {
+		v, ok := s.Get(x, "no-prefetch")
+		if !ok {
+			t.Fatalf("missing point at %d", x)
+		}
+		if prev >= 0 && v < prev {
+			t.Fatalf("no-prefetch overhead fell from %.2f to %.2f as latency grew", prev, v)
+		}
+		prev = v
+	}
+	end, _ := s.Get(int(model.MS(4)), "no-prefetch")
+	if end < 55 || end > 85 {
+		t.Fatalf("4ms no-prefetch = %.1f%%, want ~70%%", end)
+	}
+	// The hybrid stays at least as good as no-prefetch everywhere.
+	for _, x := range xs {
+		np, _ := s.Get(x, "no-prefetch")
+		hy, _ := s.Get(x, "hybrid")
+		if hy > np {
+			t.Fatalf("hybrid %.2f worse than no-prefetch %.2f at %dµs", hy, np, x)
+		}
+	}
+}
+
+func TestPortSweepRelievesSerialization(t *testing.T) {
+	s, err := PortSweep(FigureOptions{Iterations: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := s.Get(1, "no-prefetch")
+	four, _ := s.Get(4, "no-prefetch")
+	if four > one {
+		t.Fatalf("more controllers should not hurt: %.2f -> %.2f", one, four)
+	}
+	// Design-time prefetch benefits from parallel loading too.
+	dt1, _ := s.Get(1, "design-time")
+	dt4, _ := s.Get(4, "design-time")
+	if dt4 > dt1 {
+		t.Fatalf("design-time with 4 ports %.2f worse than with 1 %.2f", dt4, dt1)
+	}
+}
+
+func TestSchedulerCostImpact(t *testing.T) {
+	tab, err := SchedulerCostImpact(FigureOptions{Iterations: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

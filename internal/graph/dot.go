@@ -1,0 +1,32 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax: one node per subtask
+// (labelled with its name and execution time, ISP subtasks drawn as
+// boxes) and one edge per dependency (labelled with its payload when
+// present). The output is deterministic.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n")
+	for _, s := range g.subtasks {
+		shape := "ellipse"
+		if s.OnISP {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%v\" shape=%s];\n", s.ID, s.Name, s.Exec, shape)
+	}
+	for _, e := range g.edges {
+		if e.Bytes > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%dB\"];\n", e.From, e.To, e.Bytes)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

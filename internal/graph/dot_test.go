@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"drhwsched/internal/model"
+)
+
+func TestDOT(t *testing.T) {
+	g := New("demo")
+	a := g.AddSubtask("alpha", 10*model.Millisecond)
+	b := g.AddSubtask("beta", 5*model.Millisecond)
+	g.SetOnISP(b, true)
+	g.AddEdgeBytes(a, b, 256)
+	out := g.DOT()
+	for _, want := range []string{
+		`digraph "demo"`,
+		`n0 [label="alpha\n10ms" shape=ellipse]`,
+		`n1 [label="beta\n5ms" shape=box]`,
+		`n0 -> n1 [label="256B"]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if out != g.DOT() {
+		t.Fatal("DOT output not deterministic")
+	}
+}
+
+func TestDOTPlainEdge(t *testing.T) {
+	g := New("p")
+	a := g.AddSubtask("a", 1)
+	b := g.AddSubtask("b", 1)
+	g.AddEdge(a, b)
+	if !strings.Contains(g.DOT(), "n0 -> n1;") {
+		t.Fatal("plain edge missing")
+	}
+}

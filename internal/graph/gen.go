@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"drhwsched/internal/model"
+)
+
+// GenSpec parameterizes the synthetic task-graph generator. The generator
+// follows the layered style of TGFF: subtasks are arranged in layers,
+// every subtask depends on at least one member of an earlier layer, and
+// extra forward edges are sprinkled in with a given probability.
+type GenSpec struct {
+	Name      string
+	Subtasks  int       // total node count (≥1)
+	MaxWidth  int       // maximum subtasks per layer (≥1)
+	MinExec   model.Dur // execution time range, inclusive
+	MaxExec   model.Dur
+	EdgeProb  float64 // probability of each possible extra forward edge
+	SharedCfg int     // if >0, configurations are drawn from this many ids
+}
+
+// Generate builds a random DAG from the spec using the supplied source of
+// randomness. The result always validates: it is acyclic and connected
+// from layer to layer.
+func Generate(rng *rand.Rand, spec GenSpec) *Graph {
+	if spec.Subtasks < 1 {
+		spec.Subtasks = 1
+	}
+	if spec.MaxWidth < 1 {
+		spec.MaxWidth = 1
+	}
+	if spec.MaxExec < spec.MinExec {
+		spec.MaxExec = spec.MinExec
+	}
+	g := New(spec.Name)
+
+	exec := func() model.Dur {
+		if spec.MaxExec == spec.MinExec {
+			return spec.MinExec
+		}
+		return spec.MinExec + model.Dur(rng.Int63n(int64(spec.MaxExec-spec.MinExec+1)))
+	}
+	cfg := func(i int) ConfigID {
+		if spec.SharedCfg > 0 {
+			return ConfigID(fmt.Sprintf("%s/cfg%d", spec.Name, rng.Intn(spec.SharedCfg)))
+		}
+		return ConfigID(fmt.Sprintf("%s/cfg%d", spec.Name, i))
+	}
+
+	// Slice the node budget into layers of random width.
+	var layers [][]SubtaskID
+	remaining := spec.Subtasks
+	for remaining > 0 {
+		w := 1 + rng.Intn(spec.MaxWidth)
+		if w > remaining {
+			w = remaining
+		}
+		layer := make([]SubtaskID, 0, w)
+		for i := 0; i < w; i++ {
+			id := g.AddConfigured(fmt.Sprintf("s%d", g.Len()), exec(), cfg(g.Len()))
+			layer = append(layer, id)
+		}
+		layers = append(layers, layer)
+		remaining -= w
+	}
+
+	// Connect each node to at least one node of the previous layer, then
+	// add optional extra forward edges.
+	for li := 1; li < len(layers); li++ {
+		prev := layers[li-1]
+		for _, id := range layers[li] {
+			g.AddEdge(prev[rng.Intn(len(prev))], id)
+		}
+	}
+	have := make(map[[2]SubtaskID]bool, len(g.edges))
+	for _, e := range g.edges {
+		have[[2]SubtaskID{e.From, e.To}] = true
+	}
+	for li := 0; li < len(layers); li++ {
+		for lj := li + 1; lj < len(layers); lj++ {
+			for _, from := range layers[li] {
+				for _, to := range layers[lj] {
+					if !have[[2]SubtaskID{from, to}] && rng.Float64() < spec.EdgeProb {
+						g.AddEdge(from, to)
+						have[[2]SubtaskID{from, to}] = true
+					}
+				}
+			}
+		}
+	}
+	return g
+}

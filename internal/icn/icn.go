@@ -1,0 +1,127 @@
+// Package icn models the InterConnection Network of the paper's
+// platform (Fig. 1, after Marescaux [4] and Mignolet [5]): DRHW tiles
+// wrapped by communication interfaces and connected by a packet-switched
+// mesh network-on-chip with dimension-ordered (XY) routing. Subtasks
+// placed on different tiles exchange messages over the mesh; the model
+// charges a per-hop router latency plus a bandwidth-limited
+// serialization time.
+//
+// The prefetch evaluation of the paper abstracts communication away
+// (subtask execution times subsume it), so the schedulers work with
+// free communication by default; plugging a Mesh's Delay method into
+// schedule.Input.CommDelay turns the cost model on.
+package icn
+
+import (
+	"fmt"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+)
+
+// Mesh is a Cols×Rows packet-switched mesh. Tiles are numbered row-major
+// starting at the north-west corner.
+type Mesh struct {
+	Cols, Rows int
+	// HopLatency is the router+link traversal time per hop.
+	HopLatency model.Dur
+	// BytesPerUs is the per-link bandwidth; zero disables the
+	// serialization term.
+	BytesPerUs float64
+	// InterfaceLatency is the fixed cost of entering and leaving the
+	// network through a tile's communication interface.
+	InterfaceLatency model.Dur
+}
+
+// NewMesh builds a mesh with defaults representative of the FPGA NoCs
+// of [4]: 3 cycles/hop at 50 MHz ≈ 0.06 µs per hop, 16-bit links at
+// 50 MHz ≈ 100 MB/s, and a 1 µs wrapper cost.
+func NewMesh(cols, rows int) *Mesh {
+	return &Mesh{
+		Cols:             cols,
+		Rows:             rows,
+		HopLatency:       model.Dur(1), // µs, rounded up from 0.06
+		BytesPerUs:       100,
+		InterfaceLatency: model.Dur(1),
+	}
+}
+
+// Tiles reports the number of tiles on the mesh.
+func (m *Mesh) Tiles() int { return m.Cols * m.Rows }
+
+// Validate reports whether the mesh is usable.
+func (m *Mesh) Validate() error {
+	if m.Cols < 1 || m.Rows < 1 {
+		return fmt.Errorf("icn: invalid mesh %dx%d", m.Cols, m.Rows)
+	}
+	if m.HopLatency < 0 || m.BytesPerUs < 0 || m.InterfaceLatency < 0 {
+		return fmt.Errorf("icn: negative latency parameters")
+	}
+	return nil
+}
+
+// Coord returns a tile's (x, y) mesh coordinates.
+func (m *Mesh) Coord(tile int) (x, y int) { return tile % m.Cols, tile / m.Cols }
+
+// TileAt returns the tile index at mesh coordinates (x, y).
+func (m *Mesh) TileAt(x, y int) int { return y*m.Cols + x }
+
+// Hops is the XY-routed hop count between two tiles (the Manhattan
+// distance — dimension-ordered routing is minimal on a mesh).
+func (m *Mesh) Hops(from, to int) int {
+	fx, fy := m.Coord(from)
+	tx, ty := m.Coord(to)
+	return abs(fx-tx) + abs(fy-ty)
+}
+
+// Route returns the XY route from one tile to another, inclusive of the
+// endpoints: first along X to the destination column, then along Y.
+func (m *Mesh) Route(from, to int) []int {
+	fx, fy := m.Coord(from)
+	tx, ty := m.Coord(to)
+	route := []int{from}
+	x, y := fx, fy
+	for x != tx {
+		if x < tx {
+			x++
+		} else {
+			x--
+		}
+		route = append(route, m.TileAt(x, y))
+	}
+	for y != ty {
+		if y < ty {
+			y++
+		} else {
+			y--
+		}
+		route = append(route, m.TileAt(x, y))
+	}
+	return route
+}
+
+// TransferLatency is the end-to-end latency of one message: interface
+// entry/exit, per-hop router traversal, and bandwidth serialization.
+// Same-tile transfers are free (the data never enters the network).
+func (m *Mesh) TransferLatency(bytes, from, to int) model.Dur {
+	if from == to {
+		return 0
+	}
+	lat := 2*m.InterfaceLatency + model.Dur(m.Hops(from, to))*m.HopLatency
+	if m.BytesPerUs > 0 && bytes > 0 {
+		lat += model.Dur(float64(bytes)/m.BytesPerUs + 0.5)
+	}
+	return lat
+}
+
+// Delay adapts the mesh to the timeline engine's CommDelay hook.
+func (m *Mesh) Delay(e graph.Edge, fromTile, toTile int) model.Dur {
+	return m.TransferLatency(e.Bytes, fromTile, toTile)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

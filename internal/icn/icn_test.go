@@ -1,0 +1,139 @@
+package icn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/schedule"
+)
+
+func TestCoordRoundTrip(t *testing.T) {
+	m := NewMesh(4, 3)
+	for tile := 0; tile < m.Tiles(); tile++ {
+		x, y := m.Coord(tile)
+		if m.TileAt(x, y) != tile {
+			t.Fatalf("coord round trip broken for tile %d", tile)
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	m := NewMesh(4, 4)
+	if got := m.Hops(0, 0); got != 0 {
+		t.Fatalf("self hops = %d", got)
+	}
+	// Tile 0 is (0,0); tile 15 is (3,3): 6 hops.
+	if got := m.Hops(0, 15); got != 6 {
+		t.Fatalf("corner hops = %d, want 6", got)
+	}
+	if m.Hops(3, 12) != m.Hops(12, 3) {
+		t.Fatal("hops not symmetric")
+	}
+}
+
+func TestRouteIsXYAndConnected(t *testing.T) {
+	m := NewMesh(4, 4)
+	route := m.Route(1, 14) // (1,0) -> (2,3)
+	if route[0] != 1 || route[len(route)-1] != 14 {
+		t.Fatalf("route endpoints: %v", route)
+	}
+	if len(route) != m.Hops(1, 14)+1 {
+		t.Fatalf("route length %d, hops %d", len(route), m.Hops(1, 14))
+	}
+	// Every step moves to a mesh neighbour; X must be corrected first.
+	movedY := false
+	for i := 1; i < len(route); i++ {
+		px, py := m.Coord(route[i-1])
+		cx, cy := m.Coord(route[i])
+		dx, dy := abs(px-cx), abs(py-cy)
+		if dx+dy != 1 {
+			t.Fatalf("route step %d not a neighbour hop: %v", i, route)
+		}
+		if dy == 1 {
+			movedY = true
+		}
+		if dx == 1 && movedY {
+			t.Fatalf("X move after Y move (not XY routing): %v", route)
+		}
+	}
+}
+
+func TestTransferLatency(t *testing.T) {
+	m := NewMesh(3, 3)
+	if m.TransferLatency(4096, 2, 2) != 0 {
+		t.Fatal("same-tile transfer must be free")
+	}
+	oneHop := m.TransferLatency(0, 0, 1)
+	if oneHop != 2*m.InterfaceLatency+m.HopLatency {
+		t.Fatalf("one-hop latency = %v", oneHop)
+	}
+	withPayload := m.TransferLatency(1000, 0, 1)
+	if withPayload <= oneHop {
+		t.Fatal("payload should add serialization time")
+	}
+	// 1000 bytes at 100 B/µs = 10 µs.
+	if withPayload-oneHop != 10 {
+		t.Fatalf("serialization = %v, want 10µs", withPayload-oneHop)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewMesh(2, 2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Mesh{Cols: 0, Rows: 2}).Validate(); err == nil {
+		t.Fatal("want error")
+	}
+	bad := NewMesh(2, 2)
+	bad.HopLatency = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDelayPlugsIntoEngine(t *testing.T) {
+	m := NewMesh(2, 1)
+	g := graph.New("comm")
+	a := g.AddSubtask("a", 10*model.Millisecond)
+	b := g.AddSubtask("b", 10*model.Millisecond)
+	g.AddEdgeBytes(a, b, 10000) // 100µs serialization + hop costs
+	in := schedule.Input{
+		G:          g,
+		P:          platform.Default(2),
+		Assignment: []int{0, 1},
+		TileOrder:  [][]graph.SubtaskID{{a}, {b}},
+		NeedLoad:   []bool{false, false},
+		CommDelay:  m.Delay,
+	}
+	tl, err := schedule.Compute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGap := m.TransferLatency(10000, 0, 1)
+	if got := tl.ExecStart[b].Sub(tl.ExecEnd[a]); got != wantGap {
+		t.Fatalf("gap = %v, want %v", got, wantGap)
+	}
+	if err := schedule.Verify(in, tl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hop counts obey the triangle inequality and symmetry on
+// random meshes.
+func TestHopsMetricProperty(t *testing.T) {
+	f := func(cols, rows uint8, a, b, c uint16) bool {
+		m := NewMesh(1+int(cols%6), 1+int(rows%6))
+		n := m.Tiles()
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		if m.Hops(x, y) != m.Hops(y, x) {
+			return false
+		}
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

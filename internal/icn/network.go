@@ -1,0 +1,109 @@
+package icn
+
+import (
+	"fmt"
+	"sort"
+
+	"drhwsched/internal/model"
+)
+
+// Network simulates message transfers over a mesh with link contention.
+// Routing is wormhole-style: a message reserves every directed link of
+// its XY route for its whole transfer, so two messages whose routes
+// share a link serialize while disjoint routes proceed in parallel —
+// the first-order behaviour of the ICN's packet-switched links under
+// long messages.
+type Network struct {
+	mesh     *Mesh
+	linkFree map[link]model.Time
+	log      []Transfer
+}
+
+// link is a directed connection between two adjacent tiles.
+type link struct{ from, to int }
+
+// Transfer records one simulated message.
+type Transfer struct {
+	From, To   int
+	Bytes      int
+	Ready      model.Time // when the payload was available at the source
+	Start, End model.Time // actual occupation of the route
+}
+
+// NewNetwork wraps a mesh with link-occupancy state.
+func NewNetwork(m *Mesh) *Network {
+	return &Network{mesh: m, linkFree: make(map[link]model.Time)}
+}
+
+// Mesh returns the underlying topology.
+func (n *Network) Mesh() *Mesh { return n.mesh }
+
+// Send schedules one message: it starts once the payload is ready and
+// every link of the route is free, holds the route for the transfer
+// latency, and returns the arrival time. Same-tile sends are free and
+// unrecorded.
+func (n *Network) Send(bytes, from, to int, ready model.Time) model.Time {
+	if from == to {
+		return ready
+	}
+	route := n.mesh.Route(from, to)
+	start := ready
+	for i := 1; i < len(route); i++ {
+		l := link{route[i-1], route[i]}
+		if t := n.linkFree[l]; t > start {
+			start = t
+		}
+	}
+	end := start.Add(n.mesh.TransferLatency(bytes, from, to))
+	for i := 1; i < len(route); i++ {
+		n.linkFree[link{route[i-1], route[i]}] = end
+	}
+	n.log = append(n.log, Transfer{From: from, To: to, Bytes: bytes, Ready: ready, Start: start, End: end})
+	return end
+}
+
+// Transfers returns the recorded messages in submission order.
+func (n *Network) Transfers() []Transfer { return n.log }
+
+// Reset clears all link occupancy and the transfer log.
+func (n *Network) Reset() {
+	n.linkFree = make(map[link]model.Time)
+	n.log = nil
+}
+
+// Utilization reports the busiest links as (from, to, busy-time) rows,
+// most loaded first, for congestion diagnosis.
+func (n *Network) Utilization() []LinkLoad {
+	busy := map[link]model.Dur{}
+	for _, tr := range n.log {
+		route := n.mesh.Route(tr.From, tr.To)
+		for i := 1; i < len(route); i++ {
+			busy[link{route[i-1], route[i]}] += tr.End.Sub(tr.Start)
+		}
+	}
+	out := make([]LinkLoad, 0, len(busy))
+	for l, d := range busy {
+		out = append(out, LinkLoad{From: l.from, To: l.to, Busy: d})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Busy != out[b].Busy {
+			return out[a].Busy > out[b].Busy
+		}
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		return out[a].To < out[b].To
+	})
+	return out
+}
+
+// LinkLoad is one row of a utilization report.
+type LinkLoad struct {
+	From, To int
+	Busy     model.Dur
+}
+
+// String renders the row for logs.
+func (l LinkLoad) String() string {
+	return fmt.Sprintf("%d->%d busy %v", l.From, l.To, l.Busy)
+}

@@ -1,0 +1,143 @@
+package icn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drhwsched/internal/model"
+)
+
+func TestSendSameTileFree(t *testing.T) {
+	n := NewNetwork(NewMesh(2, 2))
+	if got := n.Send(4096, 1, 1, 100); got != 100 {
+		t.Fatalf("same-tile arrival = %v", got)
+	}
+	if len(n.Transfers()) != 0 {
+		t.Fatal("same-tile send recorded")
+	}
+}
+
+func TestSharedLinkSerializes(t *testing.T) {
+	m := NewMesh(3, 1) // 0 - 1 - 2 in a row
+	n := NewNetwork(m)
+	// Two messages 0->2 and 0->1 share link 0->1.
+	first := n.Send(1000, 0, 2, 0)
+	second := n.Send(1000, 0, 1, 0)
+	if second <= first {
+		t.Fatalf("second message ignored contention: first ends %v, second ends %v", first, second)
+	}
+	tr := n.Transfers()
+	if tr[1].Start != tr[0].End {
+		t.Fatalf("second starts %v, want %v (after the first frees the link)", tr[1].Start, tr[0].End)
+	}
+}
+
+func TestDisjointRoutesRunInParallel(t *testing.T) {
+	m := NewMesh(2, 2)
+	n := NewNetwork(m)
+	// 0->1 (top edge) and 2->3 (bottom edge) share nothing.
+	a := n.Send(1000, 0, 1, 0)
+	b := n.Send(1000, 2, 3, 0)
+	if a != b {
+		t.Fatalf("disjoint transfers should finish together: %v vs %v", a, b)
+	}
+	if n.Transfers()[1].Start != 0 {
+		t.Fatal("second transfer delayed without contention")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	n := NewNetwork(NewMesh(2, 1))
+	n.Send(100, 0, 1, 0)
+	n.Reset()
+	if len(n.Transfers()) != 0 {
+		t.Fatal("log survived reset")
+	}
+	tr := n.Send(100, 0, 1, 0)
+	if tr != model.Time(0).Add(n.mesh.TransferLatency(100, 0, 1)) {
+		t.Fatal("link occupancy survived reset")
+	}
+}
+
+func TestUtilizationRanksBusiestLink(t *testing.T) {
+	m := NewMesh(3, 1)
+	n := NewNetwork(m)
+	n.Send(1000, 0, 2, 0) // links 0->1, 1->2
+	n.Send(1000, 0, 1, 0) // link 0->1 again
+	loads := n.Utilization()
+	if len(loads) != 2 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if loads[0].From != 0 || loads[0].To != 1 {
+		t.Fatalf("busiest link = %v, want 0->1", loads[0])
+	}
+	if loads[0].Busy <= loads[1].Busy {
+		t.Fatal("ranking broken")
+	}
+	if loads[0].String() == "" {
+		t.Fatal("empty row rendering")
+	}
+}
+
+// Property: arrival is never before ready plus the uncontended latency,
+// and transfers on one network never overlap on any shared link.
+func TestNetworkProperties(t *testing.T) {
+	f := func(seed int64, cols, rows uint8, sends uint8) bool {
+		m := NewMesh(1+int(cols%4), 1+int(rows%4))
+		n := NewNetwork(m)
+		rng := newRand(seed)
+		for k := 0; k < 1+int(sends%12); k++ {
+			from := rng.Intn(m.Tiles())
+			to := rng.Intn(m.Tiles())
+			bytes := rng.Intn(5000)
+			ready := model.Time(rng.Intn(1000))
+			arrive := n.Send(bytes, from, to, ready)
+			if arrive < ready.Add(m.TransferLatency(bytes, from, to)) {
+				return false
+			}
+		}
+		// Check pairwise link-overlap freedom.
+		trs := n.Transfers()
+		for i := 0; i < len(trs); i++ {
+			for j := i + 1; j < len(trs); j++ {
+				if sharesLink(m, trs[i], trs[j]) && trs[i].Start < trs[j].End && trs[j].Start < trs[i].End {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sharesLink(m *Mesh, a, b Transfer) bool {
+	la := map[link]bool{}
+	ra := m.Route(a.From, a.To)
+	for i := 1; i < len(ra); i++ {
+		la[link{ra[i-1], ra[i]}] = true
+	}
+	rb := m.Route(b.From, b.To)
+	for i := 1; i < len(rb); i++ {
+		if la[link{rb[i-1], rb[i]}] {
+			return true
+		}
+	}
+	return false
+}
+
+// newRand is a tiny deterministic helper for the property test.
+func newRand(seed int64) *randSource {
+	return &randSource{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+type randSource struct{ state uint64 }
+
+func (r *randSource) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}

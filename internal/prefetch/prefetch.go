@@ -1,0 +1,519 @@
+// Package prefetch contains the configuration-prefetch schedulers the
+// paper evaluates and builds on. Given an initial subtask schedule (from
+// package assign) and the set of subtasks whose configurations must be
+// loaded, a prefetch scheduler decides the order in which the loads are
+// issued to the reconfiguration controller and whether loads may start
+// before their subtask is ready.
+//
+// Three schedulers are provided:
+//
+//   - OnDemand: no prefetching at all — a load is issued when the
+//     subtask becomes ready. This is the paper's "without prefetch"
+//     baseline and the source of the raw overhead numbers in Table 1.
+//   - List: the run-time heuristic of Resano et al. [7] — list
+//     scheduling by the ideal start time with a criticality tie-break,
+//     followed by a bounded improvement pass. O(N log N), near optimal.
+//   - BranchBound: exact minimization of the makespan over all feasible
+//     load orders, with lower-bound pruning. The paper uses the optimal
+//     algorithm inside the design-time phase and for Table 1's
+//     "Prefetch" column; for large graphs it falls back to List, exactly
+//     as the paper keeps [7] "for large graphs".
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/schedule"
+)
+
+// Bounds carries the boundary conditions of one task instance: when
+// execution may start, when the reconfiguration circuitry is available,
+// and when each tile drains from the previous task.
+type Bounds struct {
+	ExecFloor model.Time
+	LoadFloor model.Time
+	TileFree  []model.Time
+	PortFree  []model.Time
+}
+
+// Result is a prefetch schedule together with its evaluated timeline.
+type Result struct {
+	PortOrder []graph.SubtaskID
+	OnDemand  bool
+	Timeline  *schedule.Timeline
+	// Makespan is the task body span (end minus exec floor); Ideal is
+	// the same decision set with loads removed; Overhead is their
+	// difference — the paper's reconfiguration overhead.
+	Makespan model.Dur
+	Ideal    model.Dur
+	Overhead model.Dur
+}
+
+// Scheduler is implemented by every prefetch policy.
+type Scheduler interface {
+	Name() string
+	// Schedule orders the loads of the given subtasks. The loads slice
+	// is not modified.
+	Schedule(s *assign.Schedule, p platform.Platform, loads []graph.SubtaskID, b Bounds) (*Result, error)
+}
+
+// engineInput assembles the schedule.Input shared by all policies.
+func engineInput(s *assign.Schedule, p platform.Platform, order []graph.SubtaskID, b Bounds, onDemand bool) schedule.Input {
+	in := s.EngineInput(p, order)
+	in.ExecFloor = b.ExecFloor
+	in.LoadFloor = b.LoadFloor
+	if onDemand && in.LoadFloor < b.ExecFloor {
+		// An on-demand load request only exists once the task runs.
+		in.LoadFloor = b.ExecFloor
+	}
+	in.TileFree = b.TileFree
+	in.PortFree = b.PortFree
+	in.OnDemand = onDemand
+	return in
+}
+
+// Evaluate computes the timeline and overhead for a given load order
+// under the boundary conditions. It is exported so higher layers (the
+// hybrid heuristic, the simulator) can re-evaluate stored orders.
+func Evaluate(s *assign.Schedule, p platform.Platform, order []graph.SubtaskID, b Bounds, onDemand bool) (*Result, error) {
+	ideal, err := idealMakespan(s, p, b)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateWithIdeal(s, p, order, b, onDemand, ideal)
+}
+
+// idealMakespan computes the zero-overhead reference once; it does not
+// depend on the load order, so search loops reuse it across candidates.
+func idealMakespan(s *assign.Schedule, p platform.Platform, b Bounds) (model.Dur, error) {
+	in := engineInput(s, p, nil, b, false)
+	tl, err := schedule.Compute(schedule.Ideal(in))
+	if err != nil {
+		return 0, err
+	}
+	return tl.Makespan(), nil
+}
+
+// evaluateWithIdeal is Evaluate with the ideal reference precomputed.
+func evaluateWithIdeal(s *assign.Schedule, p platform.Platform, order []graph.SubtaskID, b Bounds, onDemand bool, ideal model.Dur) (*Result, error) {
+	in := engineInput(s, p, order, b, onDemand)
+	tl, err := schedule.Compute(in)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		PortOrder: order,
+		OnDemand:  onDemand,
+		Timeline:  tl,
+		Makespan:  tl.Makespan(),
+		Ideal:     ideal,
+		Overhead:  tl.Makespan() - ideal,
+	}, nil
+}
+
+// sortLoads returns loads ordered by ideal start (criticality-weighted
+// tie-break) — the canonical feasible issue order.
+func sortLoads(s *assign.Schedule, loads []graph.SubtaskID) []graph.SubtaskID {
+	order := append([]graph.SubtaskID(nil), loads...)
+	s.SortByIdealStart(order)
+	return order
+}
+
+// OnDemand issues every load when its subtask becomes ready: the
+// behaviour of a system with no prefetch support (paper Fig. 3b).
+type OnDemand struct{}
+
+// Name implements Scheduler.
+func (OnDemand) Name() string { return "on-demand" }
+
+// Schedule implements Scheduler. The request order (which load reaches
+// the controller first) depends on readiness times, which depend on the
+// timeline itself, so the order is resolved by fixpoint iteration: start
+// from the ideal-start order and re-sort by observed readiness until the
+// order stabilizes.
+func (OnDemand) Schedule(s *assign.Schedule, p platform.Platform, loads []graph.SubtaskID, b Bounds) (*Result, error) {
+	order := sortLoads(s, loads)
+	var res *Result
+	maxIter := 2*len(order) + 2
+	for iter := 0; iter < maxIter; iter++ {
+		r, err := Evaluate(s, p, order, b, true)
+		if err != nil {
+			return nil, err
+		}
+		res = r
+		ready := make(map[graph.SubtaskID]model.Time, len(order))
+		for _, id := range order {
+			t := b.ExecFloor
+			for _, pr := range s.G.Preds(id) {
+				t = model.MaxT(t, r.Timeline.ExecEnd[pr])
+			}
+			ready[id] = t
+		}
+		next := append([]graph.SubtaskID(nil), order...)
+		sort.SliceStable(next, func(a, c int) bool { return ready[next[a]] < ready[next[c]] })
+		repairOrder(s, next, true)
+		if equalOrder(next, order) {
+			break
+		}
+		order = next
+	}
+	return res, nil
+}
+
+// repairOrder permutes a load order, as little as possible, so that it
+// is feasible:
+//
+//   - loads of subtasks sharing a tile appear in the tile's execution
+//     order (a tile cannot be reconfigured for a later subtask before
+//     an earlier one has run), and
+//   - under on-demand semantics, a load never precedes the load of a
+//     loaded graph ancestor (the ancestor must execute before this
+//     load's request even exists, and its own load must come first).
+//
+// It models the controller letting an unblocked request overtake a
+// blocked one: a stable topological sort that keeps the desired order
+// wherever the constraints allow.
+func repairOrder(s *assign.Schedule, order []graph.SubtaskID, onDemand bool) {
+	m := len(order)
+	if m < 2 {
+		return
+	}
+	inSet := make(map[graph.SubtaskID]bool, m)
+	for _, id := range order {
+		inSet[id] = true
+	}
+	// deps[i] lists loads that must be issued before order-member i.
+	deps := make(map[graph.SubtaskID][]graph.SubtaskID, m)
+	for _, tileOrder := range s.TileOrder {
+		var prev graph.SubtaskID = -1
+		for _, id := range tileOrder {
+			if !inSet[id] {
+				continue
+			}
+			if prev >= 0 {
+				deps[id] = append(deps[id], prev)
+			}
+			prev = id
+		}
+	}
+	if onDemand {
+		// An on-demand load waits for its predecessors' executions,
+		// and executions are ordered by the *combined* precedence:
+		// graph edges plus per-tile execution chains (through resident
+		// subtasks too). Any loaded subtask that executes strictly
+		// before subtask i must therefore have its load issued before
+		// i's. Walk each load's combined-predecessor closure and
+		// record the loaded members.
+		prevExec := make(map[graph.SubtaskID]graph.SubtaskID)
+		for _, tileOrder := range s.TileOrder {
+			for k := 1; k < len(tileOrder); k++ {
+				prevExec[tileOrder[k]] = tileOrder[k-1]
+			}
+		}
+		combinedPreds := func(id graph.SubtaskID) []graph.SubtaskID {
+			ps := append([]graph.SubtaskID(nil), s.G.Preds(id)...)
+			if p, ok := prevExec[id]; ok {
+				ps = append(ps, p)
+			}
+			return ps
+		}
+		for _, id := range order {
+			seen := map[graph.SubtaskID]bool{}
+			stack := combinedPreds(id)
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				if inSet[p] && p != id {
+					deps[id] = append(deps[id], p)
+				}
+				stack = append(stack, combinedPreds(p)...)
+			}
+		}
+	}
+	emitted := make(map[graph.SubtaskID]bool, m)
+	out := make([]graph.SubtaskID, 0, m)
+	for len(out) < m {
+		progress := false
+		for _, id := range order {
+			if emitted[id] {
+				continue
+			}
+			ok := true
+			for _, d := range deps[id] {
+				if !emitted[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, id)
+				emitted[id] = true
+				progress = true
+			}
+		}
+		if !progress {
+			// The constraints are cyclic only if the tile orders
+			// contradict the graph, which Compute reports later;
+			// emit the remainder unchanged.
+			for _, id := range order {
+				if !emitted[id] {
+					out = append(out, id)
+				}
+			}
+			break
+		}
+	}
+	copy(order, out)
+}
+
+func equalOrder(a, b []graph.SubtaskID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// List is the run-time prefetch heuristic of [7]: loads are issued in
+// ideal-start order (weight tie-break) as early as the port and target
+// tile allow, then a bounded pass of adjacent transpositions keeps any
+// swap that shortens the makespan. Complexity O(N log N) for the sort
+// plus O(passes·N) evaluations.
+type List struct {
+	// MaxPasses bounds the improvement phase; zero means 2 passes and
+	// a negative value disables the improvement phase entirely (the
+	// pure list schedule, matching the complexity the paper quotes).
+	MaxPasses int
+}
+
+// Name implements Scheduler.
+func (l List) Name() string { return "list" }
+
+// Schedule implements Scheduler.
+func (l List) Schedule(s *assign.Schedule, p platform.Platform, loads []graph.SubtaskID, b Bounds) (*Result, error) {
+	ideal, err := idealMakespan(s, p, b)
+	if err != nil {
+		return nil, err
+	}
+	order := sortLoads(s, loads)
+	best, err := evaluateWithIdeal(s, p, order, b, false, ideal)
+	if err != nil {
+		return nil, err
+	}
+	passes := l.MaxPasses
+	if passes == 0 {
+		passes = 2
+	}
+	for pass := 0; pass < passes && best.Overhead > 0; pass++ {
+		improved := false
+		for i := 0; i+1 < len(order); i++ {
+			order[i], order[i+1] = order[i+1], order[i]
+			cand, err := evaluateWithIdeal(s, p, order, b, false, ideal)
+			if err != nil || cand.Makespan >= best.Makespan {
+				// Swap infeasible (tile-order cycle) or not better.
+				order[i], order[i+1] = order[i+1], order[i]
+				continue
+			}
+			best = cand
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	// best.PortOrder aliases the mutated slice only when the last swap
+	// was kept; re-evaluate defensively on a copy for a stable result.
+	final := append([]graph.SubtaskID(nil), best.PortOrder...)
+	return evaluateWithIdeal(s, p, final, b, false, ideal)
+}
+
+// BranchBound finds the load order with the minimum makespan. The search
+// expands orders respecting the per-tile execution sequence (other
+// orders are infeasible) and prunes a branch when a relaxation — the
+// timeline with all unplaced loads treated as resident — already meets
+// or exceeds the best makespan found.
+type BranchBound struct {
+	// MaxLoads caps the exact search; above it the scheduler falls
+	// back to the List heuristic, as the paper does for large graphs.
+	// Zero means 12.
+	MaxLoads int
+	// MaxNodes caps the number of explored search nodes as a safety
+	// valve; zero means 200000.
+	MaxNodes int
+}
+
+// Name implements Scheduler.
+func (BranchBound) Name() string { return "branch&bound" }
+
+// Schedule implements Scheduler.
+func (bb BranchBound) Schedule(s *assign.Schedule, p platform.Platform, loads []graph.SubtaskID, b Bounds) (*Result, error) {
+	maxLoads := bb.MaxLoads
+	if maxLoads == 0 {
+		maxLoads = 12
+	}
+	if len(loads) > maxLoads {
+		return List{}.Schedule(s, p, loads, b)
+	}
+
+	// Feasibility partial order: on one tile, loads must be issued in
+	// execution order (the engine rejects anything else).
+	sorted := sortLoads(s, loads)
+	prevOnTile := make(map[graph.SubtaskID]graph.SubtaskID)
+	inSet := make(map[graph.SubtaskID]bool, len(sorted))
+	for _, id := range sorted {
+		inSet[id] = true
+	}
+	for _, tileOrder := range s.TileOrder {
+		var prev graph.SubtaskID = -1
+		for _, id := range tileOrder {
+			if !inSet[id] {
+				continue
+			}
+			if prev >= 0 {
+				prevOnTile[id] = prev
+			}
+			prev = id
+		}
+	}
+
+	// The relaxation with every load free is a global lower bound; when
+	// the incumbent reaches it, the search is over before it starts —
+	// the common case inside the CS-selection loop, where the stored
+	// schedule hides everything.
+	ideal, err := idealMakespan(s, p, b)
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed the incumbent with the list heuristic.
+	incumbent, err := List{}.Schedule(s, p, loads, b)
+	if err != nil {
+		return nil, err
+	}
+	bestMakespan := incumbent.Makespan
+	bestOrder := append([]graph.SubtaskID(nil), incumbent.PortOrder...)
+
+	maxNodes := bb.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+	nodes := 0
+
+	placed := make([]graph.SubtaskID, 0, len(sorted))
+	used := make(map[graph.SubtaskID]bool, len(sorted))
+
+	// Port-pairing bound: loads serialize on the controller, so the
+	// j-th load still to issue cannot end before portFloor plus j
+	// load latencies, and the makespan is at least that load's end
+	// plus the remaining path weight of its subtask. Pairing the
+	// largest weights with the earliest slots minimizes the maximum,
+	// so that pairing is a valid lower bound for every completion.
+	portFloor0 := b.LoadFloor
+	if b.PortFree != nil {
+		for _, t := range b.PortFree {
+			portFloor0 = model.MaxT(portFloor0, t)
+		}
+	}
+	start := b.ExecFloor
+	weightOrder := append([]graph.SubtaskID(nil), sorted...)
+	sort.SliceStable(weightOrder, func(a, c int) bool {
+		return s.Weights[weightOrder[a]] > s.Weights[weightOrder[c]]
+	})
+	pairingBound := func() model.Dur {
+		portFloor := portFloor0
+		for _, id := range placed {
+			portFloor = portFloor.Add(p.LoadLatency(s.G.Subtask(id).Load))
+		}
+		// Slot ends: prefix sums of the unplaced latencies in
+		// ascending order (the earliest the j-th remaining load can
+		// possibly finish).
+		var lats []model.Dur
+		for _, id := range sorted {
+			if !used[id] {
+				lats = append(lats, p.LoadLatency(s.G.Subtask(id).Load))
+			}
+		}
+		sort.Slice(lats, func(a, c int) bool { return lats[a] < lats[c] })
+		var best model.Dur
+		slot := 0
+		end := portFloor
+		for _, id := range weightOrder {
+			if used[id] {
+				continue
+			}
+			end = end.Add(lats[slot])
+			slot++
+			if m := end.Add(s.Weights[id]).Sub(start); m > best {
+				best = m
+			}
+		}
+		return best
+	}
+
+	// lowerBound relaxes the problem: loads not yet placed are free.
+	lowerBound := func() (model.Dur, bool) {
+		r, err := evaluateWithIdeal(s, p, placed, b, false, ideal)
+		if err != nil {
+			return 0, false
+		}
+		return r.Makespan, true
+	}
+
+	var dfs func()
+	dfs = func() {
+		if bestMakespan <= ideal {
+			return // already provably optimal
+		}
+		nodes++
+		if nodes > maxNodes {
+			return
+		}
+		if len(placed) == len(sorted) {
+			r, err := evaluateWithIdeal(s, p, placed, b, false, ideal)
+			if err == nil && r.Makespan < bestMakespan {
+				bestMakespan = r.Makespan
+				bestOrder = append(bestOrder[:0], placed...)
+			}
+			return
+		}
+		if pairingBound() >= bestMakespan {
+			return
+		}
+		if lb, ok := lowerBound(); !ok || lb >= bestMakespan {
+			return
+		}
+		// Candidates: unplaced loads whose same-tile predecessor load
+		// (if any) is already placed. Expand in ideal-start order so
+		// good solutions are found early.
+		for _, id := range sorted {
+			if used[id] {
+				continue
+			}
+			if prev, ok := prevOnTile[id]; ok && !used[prev] {
+				continue
+			}
+			used[id] = true
+			placed = append(placed, id)
+			dfs()
+			placed = placed[:len(placed)-1]
+			used[id] = false
+		}
+	}
+	dfs()
+
+	res, err := evaluateWithIdeal(s, p, bestOrder, b, false, ideal)
+	if err != nil {
+		return nil, fmt.Errorf("prefetch: re-evaluating best order: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package reconfig
+
+import (
+	"testing"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+)
+
+// TestCriticalInitStealsEarliestDrainingTile pins the behaviour that
+// fixed the Figure 7 non-monotonicity: a critical subtask with no reuse
+// match must land on the tile that drains earliest — even if that tile
+// would have given a non-critical subtask a reuse hit — because an
+// exposed initialization load costs time while the non-critical reuse
+// only saved energy.
+func TestCriticalInitStealsEarliestDrainingTile(t *testing.T) {
+	// Two-subtask schedule: first subtask critical (config "init"),
+	// second non-critical (config "body").
+	g := graph.New("t")
+	crit := g.AddConfigured("crit", model.MS(5), "init")
+	body := g.AddConfigured("body", model.MS(5), "body")
+	g.AddEdge(crit, body)
+	s, err := assign.List(g, platform.Default(2), assign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewState(2)
+	// Tile 0 drains late and holds the non-critical config (a reuse
+	// match); tile 1 drains early and holds something useless.
+	st.Set(0, "body", model.Time(100*model.Millisecond))
+	st.Set(1, "junk", model.Time(10*model.Millisecond))
+
+	m, err := Map(s, st, MapOptions{Critical: func(id graph.SubtaskID) bool { return id == crit }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PhysOf[s.Assignment[crit]] != 1 {
+		t.Fatalf("critical init load on tile %d, want the early-draining tile 1 (mapping %v)",
+			m.PhysOf[s.Assignment[crit]], m.PhysOf)
+	}
+}
+
+// Without criticality information the old behaviour stands: the reuse
+// match wins even on the late-draining tile.
+func TestNonCriticalKeepsReuseMatch(t *testing.T) {
+	g := graph.New("t")
+	a := g.AddConfigured("a", model.MS(5), "cfg-a")
+	b := g.AddConfigured("b", model.MS(5), "cfg-b")
+	g.AddEdge(a, b)
+	s, err := assign.List(g, platform.Default(2), assign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(2)
+	st.Set(0, "cfg-a", model.Time(100*model.Millisecond))
+	m, err := Map(s, st, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Resident(s, st, m)
+	if !res[a] {
+		t.Fatalf("reuse match lost without criticality info: %v", m.PhysOf)
+	}
+}
+
+// Critical subtasks with a reuse match must still claim it: reusing a
+// critical subtask saves initialization time, the best outcome of all.
+func TestCriticalMatchBeatsStealing(t *testing.T) {
+	g := graph.New("t")
+	crit := g.AddConfigured("crit", model.MS(5), "init")
+	s, err := assign.List(g, platform.Default(2), assign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(2)
+	st.Set(0, "init", model.Time(100*model.Millisecond)) // match, late drain
+	st.Set(1, "junk", model.Time(1*model.Millisecond))   // early drain
+	m, err := Map(s, st, MapOptions{Critical: func(graph.SubtaskID) bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Resident(s, st, m)
+	if !res[crit] {
+		t.Fatalf("critical reuse match not claimed: %v", m.PhysOf)
+	}
+}
+
+// Idle virtual tiles must park on leftovers so resident configurations
+// survive for later tasks.
+func TestIdleVirtualTilesPreserveConfigs(t *testing.T) {
+	g := graph.New("t")
+	g.AddConfigured("only", model.MS(5), "x")
+	p := platform.Default(4)
+	s, err := assign.List(g, p, assign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(4)
+	st.Set(2, "precious", 50)
+	m, err := Map(s, st, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The busy virtual tile must avoid tile 2 (an empty tile exists).
+	if m.PhysOf[s.Assignment[0]] == 2 {
+		t.Fatalf("evicted a configuration despite empty tiles: %v", m.PhysOf)
+	}
+}

@@ -1,0 +1,388 @@
+// Package reconfig implements the run-time reuse and replacement
+// modules that flank the prefetch module in the paper's scheduling flow
+// (Fig. 2, detailed in the authors' DAC'04 work [6]).
+//
+// The reuse module answers "which subtasks of this instance already have
+// their configuration on a tile?". The replacement module answers "which
+// physical tile should each load target?", trying to maximize the
+// percentage of reused configurations — both for this instance (mapping
+// virtual tiles onto the physical tiles that hold their configurations)
+// and for future ones (evicting the least valuable configurations
+// first, under a pluggable policy).
+//
+// Initial schedules are computed in a *virtual* tile space (tile indices
+// 0..k-1 chosen by the design-time scheduler). Because all tiles are
+// identical, the run-time system is free to permute them; Map picks the
+// permutation.
+package reconfig
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+)
+
+// State tracks what is resident on every physical tile.
+type State struct {
+	// Configs holds the configuration on each tile; empty string means
+	// the tile has never been configured.
+	Configs []graph.ConfigID
+	// LastUse is the last time the tile executed or loaded anything.
+	LastUse []model.Time
+	// LoadedAt is when the current configuration was loaded.
+	LoadedAt []model.Time
+}
+
+// NewState returns an all-empty tile state.
+func NewState(tiles int) *State {
+	return &State{
+		Configs:  make([]graph.ConfigID, tiles),
+		LastUse:  make([]model.Time, tiles),
+		LoadedAt: make([]model.Time, tiles),
+	}
+}
+
+// Tiles reports the number of physical tiles tracked.
+func (st *State) Tiles() int { return len(st.Configs) }
+
+// Set records that tile now holds cfg, loaded at the given time.
+func (st *State) Set(tile int, cfg graph.ConfigID, at model.Time) {
+	st.Configs[tile] = cfg
+	st.LoadedAt[tile] = at
+	st.LastUse[tile] = at
+}
+
+// Touch records that tile was used (executed on) at the given time
+// without changing its configuration.
+func (st *State) Touch(tile int, at model.Time) {
+	if at > st.LastUse[tile] {
+		st.LastUse[tile] = at
+	}
+}
+
+// Holding returns the physical tiles currently holding cfg.
+func (st *State) Holding(cfg graph.ConfigID) []int {
+	var out []int
+	for t, c := range st.Configs {
+		if c != "" && c == cfg {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the state (used by what-if evaluation in the
+// simulator's ablations).
+func (st *State) Clone() *State {
+	c := NewState(len(st.Configs))
+	copy(c.Configs, st.Configs)
+	copy(c.LastUse, st.LastUse)
+	copy(c.LoadedAt, st.LoadedAt)
+	return c
+}
+
+// Policy selects which tile to sacrifice when a load needs a target and
+// no tile holding the wanted configuration is available.
+type Policy interface {
+	Name() string
+	// Victim picks one tile from candidates (never empty). future
+	// lists the configurations of upcoming subtasks, nearest first,
+	// for lookahead policies; it may be nil.
+	Victim(st *State, candidates []int, future []graph.ConfigID) int
+}
+
+// LRU evicts the tile that has been idle longest — the paper's default
+// replacement behaviour.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "lru" }
+
+// Victim implements Policy.
+func (LRU) Victim(st *State, candidates []int, _ []graph.ConfigID) int {
+	best := candidates[0]
+	for _, t := range candidates[1:] {
+		if st.LastUse[t] < st.LastUse[best] {
+			best = t
+		}
+	}
+	return best
+}
+
+// FIFO evicts the tile whose configuration is oldest.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Victim implements Policy.
+func (FIFO) Victim(st *State, candidates []int, _ []graph.ConfigID) int {
+	best := candidates[0]
+	for _, t := range candidates[1:] {
+		if st.LoadedAt[t] < st.LoadedAt[best] {
+			best = t
+		}
+	}
+	return best
+}
+
+// Belady evicts the configuration whose next use lies farthest in the
+// known future (never used again beats everything). With the TCM
+// run-time scheduler publishing the upcoming task sequence, this is the
+// strongest reuse-preserving policy available.
+type Belady struct{}
+
+// Name implements Policy.
+func (Belady) Name() string { return "belady" }
+
+// Victim implements Policy.
+func (Belady) Victim(st *State, candidates []int, future []graph.ConfigID) int {
+	next := make(map[graph.ConfigID]int, len(future))
+	for i := len(future) - 1; i >= 0; i-- {
+		next[future[i]] = i
+	}
+	best, bestDist := candidates[0], -1
+	for _, t := range candidates {
+		dist := 1 << 30 // never used again
+		if st.Configs[t] != "" {
+			if d, ok := next[st.Configs[t]]; ok {
+				dist = d
+			}
+		} else {
+			dist = 1 << 30 // empty tiles are free victims
+		}
+		if dist > bestDist || (dist == bestDist && st.LastUse[t] < st.LastUse[best]) {
+			best, bestDist = t, dist
+		}
+	}
+	return best
+}
+
+// Random evicts uniformly at random; the ablation baseline.
+type Random struct{ Rng *rand.Rand }
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Victim implements Policy.
+func (r Random) Victim(_ *State, candidates []int, _ []graph.ConfigID) int {
+	if r.Rng == nil {
+		return candidates[0]
+	}
+	return candidates[r.Rng.Intn(len(candidates))]
+}
+
+// Mapping is a placement of a schedule's virtual tiles onto distinct
+// physical tiles.
+type Mapping struct {
+	// PhysOf maps each virtual tile to its physical tile.
+	PhysOf []int
+}
+
+// MapOptions tune the mapping decision.
+type MapOptions struct {
+	// Policy picks victims for virtual tiles without a reuse match.
+	// Nil means LRU.
+	Policy Policy
+	// Critical reports whether a subtask is in the CS set; reusing a
+	// critical subtask saves initialization time, not just energy, so
+	// matching them gets priority. May be nil.
+	Critical func(graph.SubtaskID) bool
+	// Future lists upcoming configurations for lookahead policies.
+	Future []graph.ConfigID
+}
+
+// Map places the schedule's virtual tiles on physical tiles.
+//
+// The goals, in priority order, mirror the paper's replacement module:
+//
+//  1. Critical first-on-tile subtasks find their configuration resident
+//     (saving initialization-phase time, not just energy).
+//  2. Critical subtasks that must be loaded anyway land on the tiles
+//     that drain earliest, so the initialization phase fits into the
+//     previous task's idle reconfiguration window. This may steal a
+//     tile that would have given a *non-critical* subtask a reuse hit:
+//     that reuse only saved energy (its load was hidden by
+//     construction), while an exposed initialization load costs real
+//     time.
+//  3. Non-critical first-on-tile subtasks reuse what is left.
+//  4. Everything else takes eviction victims under the replacement
+//     policy; empty tiles are preferred outright.
+//
+// Virtual tiles that execute nothing are parked on the leftover
+// physical tiles so the configurations there survive for future tasks.
+func Map(s *assign.Schedule, st *State, opt MapOptions) (Mapping, error) {
+	k := s.Tiles
+	if k > st.Tiles() {
+		return Mapping{}, fmt.Errorf("reconfig: schedule needs %d tiles, platform has %d", k, st.Tiles())
+	}
+	policy := opt.Policy
+	if policy == nil {
+		policy = LRU{}
+	}
+
+	m := Mapping{PhysOf: make([]int, k)}
+	for v := range m.PhysOf {
+		m.PhysOf[v] = -1
+	}
+	taken := make([]bool, st.Tiles())
+	claim := func(v, t int) {
+		m.PhysOf[v] = t
+		taken[t] = true
+	}
+
+	// Partition the busy virtual tiles by the criticality of their
+	// first subtask, each group in descending weight order.
+	var busyCrit, busyRest []int
+	for v := 0; v < k; v++ {
+		if len(s.TileOrder[v]) == 0 {
+			continue
+		}
+		first := s.TileOrder[v][0]
+		if opt.Critical != nil && opt.Critical(first) {
+			busyCrit = append(busyCrit, v)
+		} else {
+			busyRest = append(busyRest, v)
+		}
+	}
+	byWeight := func(vs []int) {
+		sort.SliceStable(vs, func(a, b int) bool {
+			wa := s.Weights[s.TileOrder[vs[a]][0]]
+			wb := s.Weights[s.TileOrder[vs[b]][0]]
+			if wa != wb {
+				return wa > wb
+			}
+			return vs[a] < vs[b]
+		})
+	}
+	byWeight(busyCrit)
+	byWeight(busyRest)
+
+	match := func(v int) bool {
+		cfg := s.G.Subtask(s.TileOrder[v][0]).Config
+		for _, t := range st.Holding(cfg) {
+			if !taken[t] {
+				claim(v, t)
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 1: critical reuse matches.
+	var initTiles []int
+	for _, v := range busyCrit {
+		if !match(v) {
+			initTiles = append(initTiles, v)
+		}
+	}
+	// Pass 2: unmatched critical subtasks need initialization loads;
+	// give them the earliest-draining tiles so the inter-task window
+	// can hide those loads. Empty tiles have a zero LastUse and win
+	// automatically.
+	for _, v := range initTiles {
+		best := -1
+		for t := 0; t < st.Tiles(); t++ {
+			if taken[t] {
+				continue
+			}
+			if best < 0 || st.LastUse[t] < st.LastUse[best] {
+				best = t
+			}
+		}
+		if best < 0 {
+			return Mapping{}, fmt.Errorf("reconfig: ran out of physical tiles")
+		}
+		claim(v, best)
+	}
+	// Pass 3: non-critical reuse matches on what remains.
+	var unmatched []int
+	for _, v := range busyRest {
+		if !match(v) {
+			unmatched = append(unmatched, v)
+		}
+	}
+	// Pass 4: replacement policy picks victims for the rest. Empty
+	// tiles are preferred outright — evicting nothing is always safe.
+	for _, v := range unmatched {
+		var empties, others []int
+		for t := 0; t < st.Tiles(); t++ {
+			if taken[t] {
+				continue
+			}
+			if st.Configs[t] == "" {
+				empties = append(empties, t)
+			} else {
+				others = append(others, t)
+			}
+		}
+		var pick int
+		switch {
+		case len(empties) > 0:
+			pick = empties[0]
+		case len(others) > 0:
+			pick = policy.Victim(st, others, opt.Future)
+		default:
+			return Mapping{}, fmt.Errorf("reconfig: ran out of physical tiles")
+		}
+		claim(v, pick)
+	}
+
+	// Pass 5: park idle virtual tiles on leftovers.
+	next := 0
+	for v := 0; v < k; v++ {
+		if m.PhysOf[v] >= 0 {
+			continue
+		}
+		for taken[next] {
+			next++
+		}
+		claim(v, next)
+	}
+	return m, nil
+}
+
+// Resident reports, per subtask, whether its configuration is already on
+// its mapped physical tile when its turn comes: either carried over from
+// the previous task (first on the tile) or left by an earlier same-
+// configuration subtask of this very instance.
+func Resident(s *assign.Schedule, st *State, m Mapping) map[graph.SubtaskID]bool {
+	res := make(map[graph.SubtaskID]bool)
+	for v := 0; v < s.Tiles; v++ {
+		cur := st.Configs[m.PhysOf[v]]
+		for _, id := range s.TileOrder[v] {
+			cfg := s.G.Subtask(id).Config
+			if cfg == cur {
+				res[id] = true
+			} else {
+				cur = cfg
+			}
+		}
+	}
+	return res
+}
+
+// Commit updates the state after the instance ran: each busy tile holds
+// the configuration of the last subtask it executed, loads refresh
+// LoadedAt, and LastUse advances to the tile's final activity.
+func Commit(s *assign.Schedule, st *State, m Mapping, resident map[graph.SubtaskID]bool, endOf func(graph.SubtaskID) model.Time) {
+	for v := 0; v < s.Tiles; v++ {
+		order := s.TileOrder[v]
+		if len(order) == 0 {
+			continue
+		}
+		phys := m.PhysOf[v]
+		for _, id := range order {
+			end := endOf(id)
+			if resident[id] {
+				st.Touch(phys, end)
+			} else {
+				st.Set(phys, s.G.Subtask(id).Config, end)
+			}
+		}
+	}
+}

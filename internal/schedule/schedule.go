@@ -1,0 +1,432 @@
+// Package schedule computes event times for a task graph placed on a
+// DRHW platform: when every reconfiguration (load) starts and ends, and
+// when every subtask executes.
+//
+// It is the arbiter all scheduling policies share. A policy only chooses
+// *decisions* — the tile assignment, the per-tile execution order, which
+// subtasks must be loaded, and the order of loads on the reconfiguration
+// port(s). This package turns those decisions into a concrete timeline
+// under the hardware's constraints:
+//
+//   - a subtask cannot start before its predecessors have finished
+//     (plus any interconnect communication delay),
+//   - a subtask that must be loaded cannot start before its load ends,
+//   - a tile executes one subtask at a time, in the given order,
+//   - reconfiguring a tile destroys its contents, so a load cannot start
+//     until the previous subtask executed on that tile has finished,
+//   - loads start in port order (no overtaking) and each occupies one
+//     reconfiguration controller for its whole latency.
+//
+// The combined constraint system is a DAG when the decisions are
+// consistent; Compute evaluates it in topological order and rejects
+// cyclic inputs. Verify re-checks a computed timeline against the raw
+// constraints independently, which the test suite uses as an oracle.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+)
+
+// Input bundles the decisions and boundary conditions for one task
+// instance.
+type Input struct {
+	G *graph.Graph
+	P platform.Platform
+
+	// Assignment maps each subtask to a processor index: DRHW tiles
+	// occupy [0, P.Tiles) and ISPs [P.Tiles, P.Processors()). Subtasks
+	// marked OnISP must sit on ISPs, all others on tiles.
+	Assignment []int
+	// TileOrder lists, per processor, the subtasks it executes in
+	// order. Every subtask appears exactly once, on its assigned
+	// processor. Rows beyond P.Tiles are ISPs.
+	TileOrder [][]graph.SubtaskID
+	// NeedLoad marks the subtasks whose configuration must be loaded.
+	// A false entry means the configuration is already resident
+	// (reused), so the subtask executes without a reconfiguration.
+	NeedLoad []bool
+	// PortOrder is the sequence in which loads are issued to the
+	// reconfiguration controller(s). It must contain exactly the
+	// subtasks with NeedLoad set.
+	PortOrder []graph.SubtaskID
+
+	// ExecFloor is the earliest instant any execution may start (the
+	// task's start time). Zero is a valid floor.
+	ExecFloor model.Time
+	// LoadFloor is the earliest instant any load may start. It may be
+	// earlier than ExecFloor: the inter-task optimization issues the
+	// next task's critical loads while the previous task still runs.
+	LoadFloor model.Time
+	// TileFree gives, per processor (tiles then ISPs), when it becomes
+	// available (e.g. the end of the previous task's last execution on
+	// it). Nil means everything free at time zero.
+	TileFree []model.Time
+	// PortFree gives, per reconfiguration controller, when it becomes
+	// available. Nil means all ports free at time zero.
+	PortFree []model.Time
+
+	// OnDemand, when true, forbids prefetching: every load additionally
+	// waits for all predecessors of its subtask to finish. This models
+	// the paper's "without prefetch" baseline (Fig. 3b).
+	OnDemand bool
+	// LoadEarliest optionally gives per-subtask lower bounds on load
+	// start times. Nil or a zero entry means no extra bound.
+	LoadEarliest []model.Time
+
+	// CommDelay, when non-nil, returns the communication latency an
+	// edge incurs between two tiles (e.g. from the ICN model). Nil
+	// means communication is free.
+	CommDelay func(e graph.Edge, fromTile, toTile int) model.Dur
+}
+
+// Timeline holds the computed event times. Slices are indexed by
+// SubtaskID; LoadStart/LoadEnd are NoEvent for subtasks not loaded.
+type Timeline struct {
+	LoadStart []model.Time
+	LoadEnd   []model.Time
+	LoadPort  []int // -1 when not loaded
+	ExecStart []model.Time
+	ExecEnd   []model.Time
+
+	Start model.Time // the input's ExecFloor
+	End   model.Time // latest execution end
+	// LastLoadEnd is when the reconfiguration circuitry finishes its
+	// final load (Start when there were no loads); the idle tail
+	// [LastLoadEnd, End) is what the inter-task optimization exploits.
+	LastLoadEnd model.Time
+	// PortFreeAfter reports, per port, when it is free after this task.
+	PortFreeAfter []model.Time
+}
+
+// NoEvent marks "this event does not occur" in a Timeline.
+const NoEvent model.Time = -1
+
+// Makespan is the wall-clock span of the task body: latest execution end
+// minus the task start.
+func (tl *Timeline) Makespan() model.Dur { return tl.End.Sub(tl.Start) }
+
+// node kinds in the constraint DAG.
+const (
+	kindExec = 0
+	kindLoad = 1
+)
+
+type nodeRef struct {
+	kind int
+	id   graph.SubtaskID
+}
+
+// constraint: start(to) ≥ (fromEnd ? end(from) : start(from)) + delay.
+type constraint struct {
+	from    nodeRef
+	fromEnd bool
+	delay   model.Dur
+}
+
+// Compute evaluates the constraint system and returns the timeline.
+// It fails if the input is malformed or if the decision orders are
+// mutually inconsistent (cyclic).
+func Compute(in Input) (*Timeline, error) {
+	if err := checkInput(in); err != nil {
+		return nil, err
+	}
+	n := in.G.Len()
+
+	nodeIdx := func(r nodeRef) int { return int(r.id)*2 + r.kind }
+	loaded := func(id graph.SubtaskID) bool { return in.NeedLoad[id] }
+
+	// Collect constraints per node.
+	cons := make([][]constraint, 2*n)
+	addCon := func(to nodeRef, c constraint) { cons[nodeIdx(to)] = append(cons[nodeIdx(to)], c) }
+
+	exists := make([]bool, 2*n)
+	for i := 0; i < n; i++ {
+		exists[nodeIdx(nodeRef{kindExec, graph.SubtaskID(i)})] = true
+		if loaded(graph.SubtaskID(i)) {
+			exists[nodeIdx(nodeRef{kindLoad, graph.SubtaskID(i)})] = true
+		}
+	}
+
+	// Precedence edges: exec(p) -> exec(i), plus exec(p) -> load(i)
+	// under on-demand semantics.
+	for _, e := range in.G.Edges() {
+		var comm model.Dur
+		if in.CommDelay != nil {
+			comm = in.CommDelay(e, in.Assignment[e.From], in.Assignment[e.To])
+		}
+		addCon(nodeRef{kindExec, e.To}, constraint{nodeRef{kindExec, e.From}, true, comm})
+		if in.OnDemand && loaded(e.To) {
+			addCon(nodeRef{kindLoad, e.To}, constraint{nodeRef{kindExec, e.From}, true, 0})
+		}
+	}
+	// Load before execution.
+	for i := 0; i < n; i++ {
+		id := graph.SubtaskID(i)
+		if loaded(id) {
+			addCon(nodeRef{kindExec, id}, constraint{nodeRef{kindLoad, id}, true, 0})
+		}
+	}
+	// Tile order: executions chain; a load waits for the previous
+	// execution on its tile (reconfiguration destroys tile state).
+	for _, order := range in.TileOrder {
+		for k := range order {
+			cur := order[k]
+			if k == 0 {
+				continue
+			}
+			prev := order[k-1]
+			addCon(nodeRef{kindExec, cur}, constraint{nodeRef{kindExec, prev}, true, 0})
+			if loaded(cur) {
+				addCon(nodeRef{kindLoad, cur}, constraint{nodeRef{kindExec, prev}, true, 0})
+			}
+		}
+	}
+	// Port order: loads start in sequence (no overtaking).
+	for k := 1; k < len(in.PortOrder); k++ {
+		addCon(nodeRef{kindLoad, in.PortOrder[k]},
+			constraint{nodeRef{kindLoad, in.PortOrder[k-1]}, false, 0})
+	}
+
+	// Kahn over the constraint DAG.
+	indeg := make([]int, 2*n)
+	out := make([][]nodeRef, 2*n)
+	for to := 0; to < 2*n; to++ {
+		if !exists[to] {
+			continue
+		}
+		for _, c := range cons[to] {
+			fi := nodeIdx(c.from)
+			if !exists[fi] {
+				return nil, fmt.Errorf("schedule: constraint from nonexistent node %v", c.from)
+			}
+			indeg[to]++
+			out[fi] = append(out[fi], nodeRef{to % 2, graph.SubtaskID(to / 2)})
+		}
+	}
+
+	tl := &Timeline{
+		LoadStart: make([]model.Time, n),
+		LoadEnd:   make([]model.Time, n),
+		LoadPort:  make([]int, n),
+		ExecStart: make([]model.Time, n),
+		ExecEnd:   make([]model.Time, n),
+		Start:     in.ExecFloor,
+	}
+	for i := 0; i < n; i++ {
+		tl.LoadStart[i], tl.LoadEnd[i], tl.LoadPort[i] = NoEvent, NoEvent, -1
+	}
+
+	portFree := make([]model.Time, in.P.Ports)
+	for p := range portFree {
+		portFree[p] = in.LoadFloor
+		if in.PortFree != nil {
+			portFree[p] = model.MaxT(portFree[p], in.PortFree[p])
+		}
+	}
+	tileFloor := func(t int) model.Time {
+		if in.TileFree == nil {
+			return 0
+		}
+		return in.TileFree[t]
+	}
+
+	startOf := func(r nodeRef) model.Time {
+		if r.kind == kindExec {
+			return tl.ExecStart[r.id]
+		}
+		return tl.LoadStart[r.id]
+	}
+	endOf := func(r nodeRef) model.Time {
+		if r.kind == kindExec {
+			return tl.ExecEnd[r.id]
+		}
+		return tl.LoadEnd[r.id]
+	}
+
+	// Ready set ordered by (kind, position) so that load nodes are
+	// resolved in port order and the port-availability bookkeeping
+	// below stays consistent with the no-overtaking constraints.
+	var ready []nodeRef
+	for i := 0; i < 2*n; i++ {
+		if exists[i] && indeg[i] == 0 {
+			ready = append(ready, nodeRef{i % 2, graph.SubtaskID(i / 2)})
+		}
+	}
+	firstOnTile := make([]bool, n)
+	for _, order := range in.TileOrder {
+		if len(order) > 0 {
+			firstOnTile[order[0]] = true
+		}
+	}
+
+	done := 0
+	total := 0
+	for i := 0; i < 2*n; i++ {
+		if exists[i] {
+			total++
+		}
+	}
+	tl.LastLoadEnd = in.LoadFloor
+	anyLoad := false
+
+	for len(ready) > 0 {
+		r := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		done++
+
+		var bound model.Time
+		if r.kind == kindExec {
+			bound = in.ExecFloor
+			if firstOnTile[r.id] {
+				bound = model.MaxT(bound, tileFloor(in.Assignment[r.id]))
+			}
+		} else {
+			bound = in.LoadFloor
+			if firstOnTile[r.id] {
+				bound = model.MaxT(bound, tileFloor(in.Assignment[r.id]))
+			}
+			if in.LoadEarliest != nil && in.LoadEarliest[r.id] > 0 {
+				bound = model.MaxT(bound, in.LoadEarliest[r.id])
+			}
+		}
+		for _, c := range cons[nodeIdx(r)] {
+			if c.fromEnd {
+				bound = model.MaxT(bound, endOf(c.from).Add(c.delay))
+			} else {
+				bound = model.MaxT(bound, startOf(c.from).Add(c.delay))
+			}
+		}
+
+		if r.kind == kindExec {
+			tl.ExecStart[r.id] = bound
+			tl.ExecEnd[r.id] = bound.Add(in.G.Subtask(r.id).Exec)
+			tl.End = model.MaxT(tl.End, tl.ExecEnd[r.id])
+		} else {
+			// Pick the earliest-free controller; FIFO dispatch.
+			best := 0
+			for p := 1; p < len(portFree); p++ {
+				if portFree[p] < portFree[best] {
+					best = p
+				}
+			}
+			start := model.MaxT(bound, portFree[best])
+			lat := in.P.LoadLatency(in.G.Subtask(r.id).Load)
+			tl.LoadStart[r.id] = start
+			tl.LoadEnd[r.id] = start.Add(lat)
+			tl.LoadPort[r.id] = best
+			portFree[best] = tl.LoadEnd[r.id]
+			tl.LastLoadEnd = model.MaxT(tl.LastLoadEnd, tl.LoadEnd[r.id])
+			anyLoad = true
+		}
+
+		for _, s := range out[nodeIdx(r)] {
+			si := nodeIdx(s)
+			indeg[si]--
+			if indeg[si] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if done != total {
+		return nil, fmt.Errorf("schedule: inconsistent decision orders (constraint cycle) in %q", in.G.Name)
+	}
+	if !anyLoad {
+		tl.LastLoadEnd = in.LoadFloor
+	}
+	tl.End = model.MaxT(tl.End, in.ExecFloor)
+	tl.PortFreeAfter = portFree
+	return tl, nil
+}
+
+// Ideal returns the same input with every load removed: the schedule's
+// execution under zero reconfiguration overhead. Its makespan is the
+// paper's "ideal execution time".
+func Ideal(in Input) Input {
+	out := in
+	out.NeedLoad = make([]bool, in.G.Len())
+	out.PortOrder = nil
+	return out
+}
+
+// checkInput validates structural properties of the decision set.
+func checkInput(in Input) error {
+	if in.G == nil {
+		return errors.New("schedule: nil graph")
+	}
+	if err := in.P.Validate(); err != nil {
+		return err
+	}
+	n := in.G.Len()
+	if len(in.Assignment) != n {
+		return fmt.Errorf("schedule: assignment covers %d of %d subtasks", len(in.Assignment), n)
+	}
+	if len(in.NeedLoad) != n {
+		return fmt.Errorf("schedule: needLoad covers %d of %d subtasks", len(in.NeedLoad), n)
+	}
+	if len(in.TileOrder) > in.P.Processors() {
+		return fmt.Errorf("schedule: %d processor orders for %d processors", len(in.TileOrder), in.P.Processors())
+	}
+	if in.TileFree != nil && len(in.TileFree) != in.P.Processors() {
+		return fmt.Errorf("schedule: tileFree covers %d of %d processors", len(in.TileFree), in.P.Processors())
+	}
+	if in.PortFree != nil && len(in.PortFree) != in.P.Ports {
+		return fmt.Errorf("schedule: portFree covers %d of %d ports", len(in.PortFree), in.P.Ports)
+	}
+	seen := make([]bool, n)
+	for t, order := range in.TileOrder {
+		for _, id := range order {
+			if id < 0 || int(id) >= n {
+				return fmt.Errorf("schedule: tile %d lists unknown subtask %d", t, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("schedule: subtask %d appears on two tiles", id)
+			}
+			seen[id] = true
+			if in.Assignment[id] != t {
+				return fmt.Errorf("schedule: subtask %d ordered on tile %d but assigned to %d", id, t, in.Assignment[id])
+			}
+		}
+	}
+	for i := range seen {
+		if !seen[i] {
+			return fmt.Errorf("schedule: subtask %d missing from tile orders", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		a := in.Assignment[i]
+		if a < 0 || a >= in.P.Processors() {
+			return fmt.Errorf("schedule: subtask %d assigned to processor %d of %d", i, a, in.P.Processors())
+		}
+		onISP := in.G.Subtask(graph.SubtaskID(i)).OnISP
+		if onISP && !in.P.IsISP(a) {
+			return fmt.Errorf("schedule: ISP subtask %d assigned to tile %d", i, a)
+		}
+		if !onISP && in.P.IsISP(a) {
+			return fmt.Errorf("schedule: hardware subtask %d assigned to ISP %d", i, a)
+		}
+		if onISP && in.NeedLoad[i] {
+			return fmt.Errorf("schedule: ISP subtask %d cannot be loaded", i)
+		}
+	}
+	inPort := make([]bool, n)
+	for _, id := range in.PortOrder {
+		if id < 0 || int(id) >= n {
+			return fmt.Errorf("schedule: port order lists unknown subtask %d", id)
+		}
+		if inPort[id] {
+			return fmt.Errorf("schedule: subtask %d loaded twice", id)
+		}
+		inPort[id] = true
+	}
+	for i := 0; i < n; i++ {
+		if in.NeedLoad[i] != inPort[i] {
+			return fmt.Errorf("schedule: subtask %d needLoad=%v but portOrder presence=%v", i, in.NeedLoad[i], inPort[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/tcm"
+)
+
+// forkTask has real time/energy Pareto tradeoffs: w parallel branches.
+func forkTask(name string, w int) *tcm.Task {
+	g := graph.New(name)
+	src := g.AddSubtask("src", 2*model.Millisecond)
+	sink := g.AddSubtask("sink", 2*model.Millisecond)
+	for i := 0; i < w; i++ {
+		b := g.AddSubtask("branch", 10*model.Millisecond)
+		g.AddEdge(src, b)
+		g.AddEdge(b, sink)
+	}
+	return tcm.NewTask(name, g)
+}
+
+func TestDeadlineModeLooseDeadlinePicksCheapPoints(t *testing.T) {
+	mix := []TaskMix{{Task: forkTask("a", 4)}}
+	p := platform.Default(4)
+	loose, err := Run(mix, p, Options{
+		Approach: Hybrid, Iterations: 20, InclusionProb: 1,
+		Deadline: model.Dur(1) * model.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The serial (cheapest) point takes 44 ms, the fully parallel one
+	// 14 ms: a 20 ms deadline forces the parallel point.
+	tight, err := Run(mix, p, Options{
+		Approach: Hybrid, Iterations: 20, InclusionProb: 1,
+		Deadline: 20 * model.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A loose deadline buys the cheap serial points (longer ideal
+	// time, less energy estimate); a tight one forces parallel points.
+	if loose.IdealTotal <= tight.IdealTotal {
+		t.Fatalf("loose deadline ideal %v should exceed tight %v", loose.IdealTotal, tight.IdealTotal)
+	}
+	if loose.PointEnergy >= tight.PointEnergy {
+		t.Fatalf("loose deadline energy %.0f should undercut tight %.0f", loose.PointEnergy, tight.PointEnergy)
+	}
+	if loose.DeadlineMisses != 0 || tight.DeadlineMisses != 0 {
+		t.Fatalf("unexpected misses: %d / %d", loose.DeadlineMisses, tight.DeadlineMisses)
+	}
+}
+
+func TestDeadlineModeCountsMisses(t *testing.T) {
+	mix := []TaskMix{{Task: forkTask("a", 4)}}
+	r, err := Run(mix, platform.Default(4), Options{
+		Approach: RunTime, Iterations: 10, InclusionProb: 1,
+		Deadline: model.MS(1), // impossible
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeadlineMisses != 10 {
+		t.Fatalf("misses = %d, want every iteration", r.DeadlineMisses)
+	}
+	// Degraded mode still executes everything.
+	if r.Instances != 10 {
+		t.Fatalf("instances = %d", r.Instances)
+	}
+}
+
+func TestDeadlineModeAllApproaches(t *testing.T) {
+	mix := []TaskMix{{Task: forkTask("a", 3)}, {Task: forkTask("b", 2)}}
+	for _, ap := range []Approach{NoPrefetch, DesignTimePrefetch, RunTime, RunTimeInterTask, Hybrid} {
+		r, err := Run(mix, platform.Default(4), Options{
+			Approach: ap, Iterations: 15, Seed: 9,
+			Deadline: 200 * model.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", ap, err)
+		}
+		if r.OverheadPct < 0 || r.ActualTotal < r.IdealTotal {
+			t.Fatalf("%v: inconsistent accounting", ap)
+		}
+	}
+}
+
+func TestDeadlineModeDeterministic(t *testing.T) {
+	mix := []TaskMix{{Task: forkTask("a", 3)}}
+	o := Options{Approach: Hybrid, Iterations: 20, Seed: 4, Deadline: 100 * model.Millisecond}
+	r1, err := Run(mix, platform.Default(4), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(mix, platform.Default(4), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r1 != *r2 {
+		t.Fatal("deadline mode not deterministic")
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/tcm"
+)
+
+// hwswTask builds a task whose producer runs in software on the ISP and
+// whose two kernels run on tiles.
+func hwswTask(name string) *tcm.Task {
+	g := graph.New(name)
+	sw := g.AddSubtask("producer", 6*model.Millisecond)
+	g.SetOnISP(sw, true)
+	hw1 := g.AddSubtask("kernel1", 10*model.Millisecond)
+	hw2 := g.AddSubtask("kernel2", 10*model.Millisecond)
+	g.AddEdge(sw, hw1)
+	g.AddEdge(hw1, hw2)
+	return tcm.NewTask(name, g)
+}
+
+func ispPlatform(tiles, isps int) platform.Platform {
+	p := platform.Default(tiles)
+	p.ISPs = isps
+	return p
+}
+
+func TestSimulationWithISPs(t *testing.T) {
+	mix := []TaskMix{{Task: hwswTask("a")}, {Task: hwswTask("b")}}
+	for _, ap := range []Approach{NoPrefetch, DesignTimePrefetch, RunTime, RunTimeInterTask, Hybrid} {
+		r, err := Run(mix, ispPlatform(3, 1), Options{Approach: ap, Iterations: 30, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", ap, err)
+		}
+		if r.OverheadPct < 0 {
+			t.Fatalf("%v: negative overhead", ap)
+		}
+		// Only the two kernels per instance are loadable.
+		if r.Subtasks != 2*r.Instances {
+			t.Fatalf("%v: hardware subtask count %d for %d instances", ap, r.Subtasks, r.Instances)
+		}
+	}
+}
+
+func TestISPReuseOnlyCountsHardware(t *testing.T) {
+	mix := []TaskMix{{Task: hwswTask("solo")}}
+	r, err := Run(mix, ispPlatform(2, 1), Options{Approach: Hybrid, Iterations: 40, InclusionProb: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tiles, two kernels: after warm-up everything hardware is
+	// reusable, so the reuse rate approaches 100% of *hardware*
+	// subtasks (it would be impossible if ISP subtasks were counted).
+	if r.ReusePct < 90 {
+		t.Fatalf("reuse = %.1f%%, want ≥90%% of hardware subtasks", r.ReusePct)
+	}
+	if r.OverheadPct > 1 {
+		t.Fatalf("overhead = %.2f%%", r.OverheadPct)
+	}
+}
+
+func TestMultiPortSimulation(t *testing.T) {
+	// Two controllers halve the load-serialization term for the
+	// no-prefetch baseline on a parallel task.
+	g := graph.New("wide")
+	for i := 0; i < 4; i++ {
+		g.AddSubtask("k", 10*model.Millisecond)
+	}
+	task := tcm.NewTask("wide", g)
+	p1 := platform.Default(4)
+	p2 := platform.Default(4)
+	p2.Ports = 2
+	one, err := Run([]TaskMix{{Task: task}}, p1, Options{Approach: NoPrefetch, Iterations: 20, InclusionProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run([]TaskMix{{Task: task}}, p2, Options{Approach: NoPrefetch, Iterations: 20, InclusionProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.OverheadPct >= one.OverheadPct {
+		t.Fatalf("2 ports (%.1f%%) should beat 1 port (%.1f%%)", two.OverheadPct, one.OverheadPct)
+	}
+}

@@ -1,0 +1,628 @@
+// Package sim executes dynamic application mixes on the modelled DRHW
+// platform and accounts the reconfiguration overhead, reproducing the
+// experimental setup of the paper's §7: many iterations, a randomly
+// varying set and order of applications per iteration, per-frame
+// scenario selection, and tile state carried across every task instance
+// so the reuse, prefetch and replacement modules interact exactly as
+// they do in the TCM run-time flow of Fig. 2.
+//
+// Five scheduling approaches are selectable, matching the five
+// simulations of §7:
+//
+//   - NoPrefetch: loads on demand, no reuse — the 23 % / 71 % baselines;
+//   - DesignTimePrefetch: an optimal prefetch schedule fixed at design
+//     time; reuse is impossible because the design time cannot know
+//     what will be resident — the 7 % / 25 % baselines;
+//   - RunTime: the run-time list-scheduling heuristic of [7] plus the
+//     reuse and replacement modules;
+//   - RunTimeInterTask: RunTime plus the inter-task optimization (the
+//     idle reconfiguration tail prefetches the next task);
+//   - Hybrid: the paper's hybrid design-time/run-time heuristic.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/core"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/prefetch"
+	"drhwsched/internal/reconfig"
+	"drhwsched/internal/schedule"
+	"drhwsched/internal/tcm"
+)
+
+// Approach selects the scheduling flow under test.
+type Approach int
+
+// The five simulated flows of the paper's §7.
+const (
+	NoPrefetch Approach = iota
+	DesignTimePrefetch
+	RunTime
+	RunTimeInterTask
+	Hybrid
+)
+
+// String names the approach as the paper does.
+func (a Approach) String() string {
+	switch a {
+	case NoPrefetch:
+		return "no-prefetch"
+	case DesignTimePrefetch:
+		return "design-time-prefetch"
+	case RunTime:
+		return "run-time"
+	case RunTimeInterTask:
+		return "run-time+inter-task"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("approach(%d)", int(a))
+	}
+}
+
+// TaskMix is one application in the simulated mix.
+type TaskMix struct {
+	Task *tcm.Task
+	// ScenarioWeights biases the per-instance scenario draw (e.g. the
+	// MPEG frame-type mix). Nil means uniform.
+	ScenarioWeights []float64
+}
+
+// Options configure a simulation run.
+type Options struct {
+	Approach   Approach
+	Iterations int // paper: 1000
+	Seed       int64
+
+	// Policy is the replacement policy (nil: LRU, the default module).
+	Policy reconfig.Policy
+	// Lookahead feeds the upcoming configuration stream to the policy
+	// (required for Belady to be meaningful).
+	Lookahead bool
+	// InclusionProb is the chance each application appears in an
+	// iteration ("the applications executed during each iteration vary
+	// randomly"); zero means 0.8. At least one always runs.
+	InclusionProb float64
+	// DisableInterTask turns the inter-task optimization off for the
+	// Hybrid approach (ablation A2). RunTime/RunTimeInterTask are
+	// distinct approaches already.
+	DisableInterTask bool
+	// SchedulerCost, when true, models the CPU time of the run-time
+	// scheduling computation itself and adds it to the task start (the
+	// paper's motivation for the hybrid split: the [7] heuristic costs
+	// O(N log N) per task, the hybrid run-time phase O(N)).
+	SchedulerCost bool
+	// Deadline, when positive, activates the TCM run-time scheduler of
+	// the paper's Fig. 2: every iteration the Pareto points of the
+	// drawn task scenarios are selected to minimize energy while the
+	// iteration's tasks, run back to back, fit the deadline. Zero
+	// keeps the default of always using the fastest (widest) point.
+	Deadline model.Dur
+}
+
+// Result aggregates a simulation.
+type Result struct {
+	Approach   Approach
+	Tiles      int
+	Iterations int
+
+	IdealTotal  model.Dur
+	ActualTotal model.Dur
+	// OverheadPct is the paper's metric: the execution-time increase
+	// caused by reconfigurations, as a percentage of the ideal time.
+	OverheadPct float64
+
+	Instances  int
+	Loads      int // reconfigurations actually performed
+	InitLoads  int // loads issued by hybrid initialization phases
+	Reuses     int // subtasks that found their configuration resident
+	Cancelled  int // design-time loads cancelled at run time
+	Subtasks   int // subtask instances executed
+	ReusePct   float64
+	LoadEnergy float64 // mJ spent reconfiguring
+	SavedLoads int     // loads avoided vs. loading everything
+
+	// CriticalPct is the average share of critical subtasks across the
+	// analyses used (meaningful for Hybrid only).
+	CriticalPct float64
+
+	// SchedCost is the modelled run-time scheduler CPU time in total.
+	SchedCost model.Dur
+
+	// DeadlineMisses counts iterations whose fastest point combination
+	// could not meet Options.Deadline (the selector then falls back to
+	// the fastest points). Zero when no deadline was set.
+	DeadlineMisses int
+	// PointEnergy sums the TCM energy estimates of the selected Pareto
+	// points (only accumulated in deadline mode).
+	PointEnergy float64
+}
+
+// prepared caches the design-time artifacts of one concrete schedule
+// (one Pareto point of one task scenario).
+type prepared struct {
+	sched    *assign.Schedule
+	analysis *core.Analysis    // reuse-aware approaches
+	dtOrder  []graph.SubtaskID // DesignTimePrefetch port order
+	hw       int               // hardware (loadable) subtask count
+}
+
+// scenPrep holds everything prepared for one (task, scenario) pair: the
+// TCM Pareto curve (deadline mode only) and one prepared artifact per
+// selectable point. In the default widest mode there is exactly one.
+type scenPrep struct {
+	curve  *tcm.Curve
+	points []*prepared
+}
+
+// makePrepared builds the per-schedule artifacts an approach needs.
+func makePrepared(s *assign.Schedule, p platform.Platform, approach Approach) (*prepared, error) {
+	pr := &prepared{sched: s}
+	for _, st := range s.G.Subtasks() {
+		if !st.OnISP {
+			pr.hw++
+		}
+	}
+	switch approach {
+	case Hybrid, RunTime, RunTimeInterTask:
+		// The reuse-aware approaches share the replacement module,
+		// which consumes the design-time criticality analysis (the
+		// paper's Fig. 2 flow applies the same reuse and replacement
+		// modules around every prefetch heuristic).
+		a, err := core.Analyze(s, p, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("sim: analyzing %q: %w", s.G.Name, err)
+		}
+		pr.analysis = a
+	case DesignTimePrefetch:
+		r, err := (prefetch.BranchBound{}).Schedule(s, p, s.AllLoads(), prefetch.Bounds{})
+		if err != nil {
+			return nil, fmt.Errorf("sim: design-time prefetch %q: %w", s.G.Name, err)
+		}
+		pr.dtOrder = r.PortOrder
+	}
+	return pr, nil
+}
+
+// Run simulates the mix under the options and returns the aggregate.
+func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("sim: empty task mix")
+	}
+	if opt.Iterations <= 0 {
+		opt.Iterations = 1000
+	}
+	inclusion := opt.InclusionProb
+	if inclusion <= 0 {
+		inclusion = 0.8
+	}
+	policy := opt.Policy
+	if policy == nil {
+		policy = reconfig.LRU{}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Design-time preparation.
+	prep := make([][]*scenPrep, len(mix))
+	var critSum float64
+	var critN int
+	account := func(pr *prepared) {
+		if pr.analysis != nil {
+			critSum += pr.analysis.CriticalFraction()
+			critN++
+		}
+	}
+	if opt.Deadline > 0 {
+		// TCM mode: explore the Pareto curves once, prepare every
+		// selectable point.
+		tasks := make([]*tcm.Task, len(mix))
+		for mi := range mix {
+			tasks[mi] = mix[mi].Task
+		}
+		ds, err := tcm.DesignTime(tasks, p, tcm.DTOptions{Placement: assign.Spread})
+		if err != nil {
+			return nil, fmt.Errorf("sim: TCM design time: %w", err)
+		}
+		for mi, m := range mix {
+			prep[mi] = make([]*scenPrep, len(m.Task.Scenarios))
+			for si := range m.Task.Scenarios {
+				curve := ds.Curve(mi, si)
+				sp := &scenPrep{curve: curve}
+				for _, pt := range curve.Points {
+					pr, err := makePrepared(pt.Sched, p, opt.Approach)
+					if err != nil {
+						return nil, err
+					}
+					account(pr)
+					sp.points = append(sp.points, pr)
+				}
+				prep[mi][si] = sp
+			}
+		}
+	} else {
+		for mi, m := range mix {
+			prep[mi] = make([]*scenPrep, len(m.Task.Scenarios))
+			for si, g := range m.Task.Scenarios {
+				s, err := assign.List(g, p, assign.Options{Placement: assign.Spread})
+				if err != nil {
+					return nil, fmt.Errorf("sim: scheduling %q: %w", g.Name, err)
+				}
+				pr, err := makePrepared(s, p, opt.Approach)
+				if err != nil {
+					return nil, err
+				}
+				account(pr)
+				prep[mi][si] = &scenPrep{points: []*prepared{pr}}
+			}
+		}
+	}
+
+	res := &Result{Approach: opt.Approach, Tiles: p.Tiles, Iterations: opt.Iterations}
+	if critN > 0 {
+		res.CriticalPct = 100 * critSum / float64(critN)
+	}
+
+	state := reconfig.NewState(p.Tiles)
+	physFree := make([]model.Time, p.Tiles)
+	ispFree := make([]model.Time, p.ISPs)
+	var clock, portFree model.Time
+
+	useReuse := opt.Approach == RunTime || opt.Approach == RunTimeInterTask || opt.Approach == Hybrid
+	interTask := opt.Approach == RunTimeInterTask ||
+		(opt.Approach == Hybrid && !opt.DisableInterTask)
+
+	for iter := 0; iter < opt.Iterations; iter++ {
+		// Draw this iteration's application set, order, and scenarios
+		// (the TCM run-time scheduler identifies the current scenario
+		// of every running task before selecting points).
+		var todo []int
+		for mi := range mix {
+			if rng.Float64() < inclusion {
+				todo = append(todo, mi)
+			}
+		}
+		if len(todo) == 0 {
+			todo = append(todo, rng.Intn(len(mix)))
+		}
+		rng.Shuffle(len(todo), func(i, j int) { todo[i], todo[j] = todo[j], todo[i] })
+
+		instances := make([]*prepared, len(todo))
+		if opt.Deadline > 0 {
+			curves := make([]*tcm.Curve, len(todo))
+			scens := make([]int, len(todo))
+			for k, mi := range todo {
+				scens[k] = drawScenario(rng, mix[mi])
+				curves[k] = prep[mi][scens[k]].curve
+			}
+			sel, err := tcm.Select(curves, opt.Deadline)
+			if err != nil {
+				// Even the fastest points miss: record it and degrade
+				// to the fastest combination.
+				res.DeadlineMisses++
+				for k, mi := range todo {
+					instances[k] = prep[mi][scens[k]].points[0]
+					res.PointEnergy += curves[k].Fastest().Energy
+				}
+			} else {
+				for k := range sel {
+					idx := pointIndex(curves[k], sel[k].Point)
+					instances[k] = prep[todo[k]][scens[k]].points[idx]
+					res.PointEnergy += sel[k].Point.Energy
+				}
+			}
+		} else {
+			for k, mi := range todo {
+				si := drawScenario(rng, mix[mi])
+				instances[k] = prep[mi][si].points[0]
+			}
+		}
+
+		for seq := range todo {
+			pr := instances[seq]
+			s := pr.sched
+
+			// Model the run-time scheduler's own CPU cost.
+			if opt.SchedulerCost {
+				cost := schedulerCost(opt.Approach, s.G.Len())
+				res.SchedCost += cost
+				clock = clock.Add(cost)
+			}
+
+			// Reuse + replacement modules (virtual -> physical).
+			var critical func(graph.SubtaskID) bool
+			if pr.analysis != nil {
+				critical = pr.analysis.IsCritical
+			}
+			var future []graph.ConfigID
+			if opt.Lookahead {
+				future = upcomingConfigs(instances[seq:])
+			}
+			mapping, err := reconfig.Map(s, state, reconfig.MapOptions{
+				Policy: policy, Critical: critical, Future: future,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var resident map[graph.SubtaskID]bool
+			if useReuse {
+				resident = reconfig.Resident(s, state, mapping)
+			}
+
+			taskStart := clock
+			loadFloor := taskStart
+			if interTask {
+				loadFloor = model.MinT(portFree, taskStart)
+			}
+			rows := len(s.TileOrder)
+			tileFree := make([]model.Time, rows)
+			for v := 0; v < s.Tiles; v++ {
+				tileFree[v] = physFree[mapping.PhysOf[v]]
+			}
+			for v := s.Tiles; v < rows; v++ {
+				tileFree[v] = ispFree[v-s.Tiles]
+			}
+			portFloor := model.MaxT(portFree, loadFloor)
+
+			inst, err := execute(pr, p, opt.Approach, bounds{
+				taskStart: taskStart,
+				loadFloor: loadFloor,
+				portFree:  portFloor,
+				tileFree:  tileFree,
+			}, resident)
+			if err != nil {
+				return nil, fmt.Errorf("sim: executing %q: %w", s.G.Name, err)
+			}
+
+			// Account. Reuse and load statistics are relative to the
+			// hardware (loadable) subtasks.
+			res.Instances++
+			res.Subtasks += pr.hw
+			res.IdealTotal += inst.ideal
+			res.ActualTotal += inst.ideal + inst.overhead
+			res.Loads += inst.loads
+			res.InitLoads += inst.initLoads
+			res.Reuses += len(resident)
+			res.Cancelled += inst.cancelled
+			res.LoadEnergy += float64(inst.loads) * p.LoadEnergy
+			res.SavedLoads += pr.hw - inst.loads
+
+			// Advance platform state.
+			clock = inst.end
+			portFree = inst.portFreeAfter
+			for v := 0; v < s.Tiles; v++ {
+				if t := inst.tileLast[v]; t > physFree[mapping.PhysOf[v]] {
+					physFree[mapping.PhysOf[v]] = t
+				}
+			}
+			for v := s.Tiles; v < rows; v++ {
+				if t := inst.tileLast[v]; t > ispFree[v-s.Tiles] {
+					ispFree[v-s.Tiles] = t
+				}
+			}
+			if useReuse {
+				reconfig.Commit(s, state, mapping, resident, inst.endOf)
+			}
+		}
+	}
+
+	if res.IdealTotal > 0 {
+		res.OverheadPct = model.Pct(res.ActualTotal-res.IdealTotal, res.IdealTotal)
+	}
+	if res.Subtasks > 0 {
+		res.ReusePct = 100 * float64(res.Reuses) / float64(res.Subtasks)
+	}
+	return res, nil
+}
+
+// bounds carries one instance's boundary conditions in virtual space.
+type bounds struct {
+	taskStart model.Time
+	loadFloor model.Time
+	portFree  model.Time
+	tileFree  []model.Time
+}
+
+// instance is the outcome of one task arrival.
+type instance struct {
+	ideal         model.Dur
+	overhead      model.Dur
+	end           model.Time
+	portFreeAfter model.Time
+	loads         int
+	initLoads     int
+	cancelled     int
+	tileLast      []model.Time // per virtual tile, last activity end
+	endOf         func(graph.SubtaskID) model.Time
+}
+
+// execute runs one task arrival under the selected approach.
+func execute(pr *prepared, p platform.Platform, ap Approach, b bounds, resident map[graph.SubtaskID]bool) (*instance, error) {
+	s := pr.sched
+	pb := prefetch.Bounds{
+		ExecFloor: b.taskStart,
+		LoadFloor: b.loadFloor,
+		TileFree:  b.tileFree,
+		PortFree:  portVec(p, b.portFree),
+	}
+
+	switch ap {
+	case Hybrid:
+		var fn func(graph.SubtaskID) bool
+		if resident != nil {
+			fn = func(id graph.SubtaskID) bool { return resident[id] }
+		}
+		r, err := pr.analysis.Execute(core.RunBounds{
+			TaskStart: b.taskStart,
+			PortFree:  b.portFree,
+			TileFree:  b.tileFree,
+		}, fn)
+		if err != nil {
+			return nil, err
+		}
+		inst := &instance{
+			ideal:         r.Ideal,
+			overhead:      r.Overhead,
+			end:           r.Timeline.End,
+			portFreeAfter: r.PortFreeAfter,
+			loads:         len(r.Plan.InitLoads) + len(r.Plan.BodyLoads),
+			initLoads:     len(r.Plan.InitLoads),
+			cancelled:     len(r.Plan.Cancelled),
+		}
+		inst.tileLast = tileLastFromTimeline(s, r.Timeline)
+		for _, w := range r.InitWindows {
+			v := s.Assignment[w.Subtask]
+			if w.End > inst.tileLast[v] {
+				inst.tileLast[v] = w.End
+			}
+		}
+		tl := r.Timeline
+		inst.endOf = func(id graph.SubtaskID) model.Time { return tl.ExecEnd[id] }
+		return inst, nil
+
+	case NoPrefetch, DesignTimePrefetch, RunTime, RunTimeInterTask:
+		loads := loadSet(s, resident)
+		var r *prefetch.Result
+		var err error
+		switch ap {
+		case NoPrefetch:
+			r, err = (prefetch.OnDemand{}).Schedule(s, p, loads, pb)
+		case DesignTimePrefetch:
+			r, err = prefetch.Evaluate(s, p, pr.dtOrder, pb, false)
+		default:
+			r, err = (prefetch.List{}).Schedule(s, p, loads, pb)
+		}
+		if err != nil {
+			return nil, err
+		}
+		inst := &instance{
+			ideal:         r.Ideal,
+			overhead:      r.Overhead,
+			end:           r.Timeline.End,
+			portFreeAfter: r.Timeline.PortFreeAfter[0],
+			loads:         len(r.PortOrder),
+		}
+		inst.tileLast = tileLastFromTimeline(s, r.Timeline)
+		tl := r.Timeline
+		inst.endOf = func(id graph.SubtaskID) model.Time { return tl.ExecEnd[id] }
+		return inst, nil
+	}
+	return nil, fmt.Errorf("sim: unknown approach %v", ap)
+}
+
+// loadSet lists the loads needed given residency, in canonical order.
+// ISP subtasks never load.
+func loadSet(s *assign.Schedule, resident map[graph.SubtaskID]bool) []graph.SubtaskID {
+	var loads []graph.SubtaskID
+	for i := 0; i < s.G.Len(); i++ {
+		id := graph.SubtaskID(i)
+		if !resident[id] && !s.G.Subtask(id).OnISP {
+			loads = append(loads, id)
+		}
+	}
+	s.SortByIdealStart(loads)
+	return loads
+}
+
+// portVec replicates the scalar port-free instant over the platform's
+// reconfiguration controllers.
+func portVec(p platform.Platform, t model.Time) []model.Time {
+	v := make([]model.Time, p.Ports)
+	for i := range v {
+		v[i] = t
+	}
+	return v
+}
+
+// tileLastFromTimeline finds each processor row's last activity (the
+// end of its final execution or load) so availability can be carried to
+// the next instance.
+func tileLastFromTimeline(s *assign.Schedule, tl *schedule.Timeline) []model.Time {
+	last := make([]model.Time, len(s.TileOrder))
+	for v := range s.TileOrder {
+		for _, id := range s.TileOrder[v] {
+			if tl.ExecEnd[id] > last[v] {
+				last[v] = tl.ExecEnd[id]
+			}
+			if tl.LoadEnd[id] != schedule.NoEvent && tl.LoadEnd[id] > last[v] {
+				last[v] = tl.LoadEnd[id]
+			}
+		}
+	}
+	return last
+}
+
+// drawScenario samples a scenario index under the mix's weights.
+func drawScenario(rng *rand.Rand, m TaskMix) int {
+	n := len(m.Task.Scenarios)
+	if n == 1 {
+		return 0
+	}
+	if m.ScenarioWeights == nil {
+		return rng.Intn(n)
+	}
+	var total float64
+	for _, w := range m.ScenarioWeights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range m.ScenarioWeights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// upcomingConfigs flattens the configuration stream of the remaining
+// instances of this iteration (nearest first) for lookahead policies.
+func upcomingConfigs(upcoming []*prepared) []graph.ConfigID {
+	var out []graph.ConfigID
+	for _, pr := range upcoming {
+		s := pr.sched
+		for _, id := range s.AllLoads() {
+			out = append(out, s.G.Subtask(id).Config)
+		}
+	}
+	return out
+}
+
+// pointIndex locates a selected Pareto point on its curve.
+func pointIndex(c *tcm.Curve, pt *tcm.ParetoPoint) int {
+	for i, p := range c.Points {
+		if p == pt {
+			return i
+		}
+	}
+	return 0
+}
+
+// schedulerCost models the CPU time of the run-time scheduling
+// computation, calibrated to the paper's report that scheduling 20
+// tasks of 14 subtasks with the [7] heuristic takes under 0.1 ms:
+// ≈0.09 µs · N·log2(N) per task. The hybrid run-time phase only walks
+// the stored orders once: ≈0.02 µs · N.
+func schedulerCost(ap Approach, n int) model.Dur {
+	if n < 2 {
+		n = 2
+	}
+	switch ap {
+	case RunTime, RunTimeInterTask:
+		c := model.Dur(0.09*float64(n)*math.Log2(float64(n)) + 0.5)
+		return model.MaxD(c, 2*model.Microsecond)
+	case Hybrid:
+		c := model.Dur(0.02*float64(n) + 0.5)
+		return model.MaxD(c, model.Microsecond)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("range = [%v,%v]", s.Min(), s.Max())
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev()-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s.StdDev())
+	}
+	if s.CI95() <= 0 {
+		t.Fatalf("ci = %v", s.CI95())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.StdDev() != 0 {
+		t.Fatal("single-sample summary")
+	}
+}
+
+// Property: mean lies within [min, max] and stddev is non-negative.
+func TestSummaryProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		ok := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+			ok = true
+		}
+		if !ok {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.StdDev() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesSetGetAndOrder(t *testing.T) {
+	s := NewSeries("tiles", "a", "b")
+	s.Set(10, "a", 1.5)
+	s.Set(8, "a", 3.0)
+	s.Set(8, "b", 2.0)
+	if xs := s.Xs(); len(xs) != 2 || xs[0] != 8 || xs[1] != 10 {
+		t.Fatalf("xs = %v", xs)
+	}
+	if v, ok := s.Get(8, "b"); !ok || v != 2.0 {
+		t.Fatalf("get = %v %v", v, ok)
+	}
+	if _, ok := s.Get(9, "a"); ok {
+		t.Fatal("phantom value")
+	}
+	tab := s.Table()
+	if !strings.Contains(tab, "tiles") || !strings.Contains(tab, "3.00") {
+		t.Fatalf("table:\n%s", tab)
+	}
+	if !strings.Contains(tab, "-") {
+		t.Fatal("missing cell should render as dash")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries("x", "l")
+	s.Set(1, "l", 0.5)
+	csv := s.CSV()
+	want := "x,l\n1,0.5000\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b") // padded
+	s := tb.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "name") {
+		t.Fatalf("table:\n%s", s)
+	}
+	md := tb.Markdown()
+	if !strings.HasPrefix(md, "| name | value |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	if strings.Count(md, "\n") != 4 {
+		t.Fatalf("markdown rows:\n%s", md)
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	s := NewSeries("tiles", "ov")
+	s.Set(8, "ov", 4)
+	s.Set(16, "ov", 1)
+	c := AsciiChart(s, "ov", 20)
+	if !strings.Contains(c, "####################") {
+		t.Fatalf("chart max bar missing:\n%s", c)
+	}
+	if !strings.Contains(c, "16 | #####") {
+		t.Fatalf("chart quarter bar missing:\n%s", c)
+	}
+}

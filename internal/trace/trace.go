@@ -1,0 +1,140 @@
+// Package trace renders computed timelines as ASCII Gantt charts, the
+// same visual language as the paper's Figures 3 and 5: one row per tile
+// showing loads ("L") and executions (the subtask number), plus a row
+// for the reconfiguration circuitry.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/schedule"
+)
+
+// Options tune the rendering.
+type Options struct {
+	// Width is the target chart width in characters (default 72).
+	Width int
+	// From/To bound the rendered window; zero values mean the
+	// timeline's own extent (earliest event to End).
+	From, To model.Time
+}
+
+// Gantt renders the timeline of one engine input.
+func Gantt(in schedule.Input, tl *schedule.Timeline, opt Options) string {
+	width := opt.Width
+	if width <= 0 {
+		width = 72
+	}
+	from, to := opt.From, opt.To
+	if from == 0 && to == 0 {
+		from = tl.End
+		for i := 0; i < in.G.Len(); i++ {
+			if tl.LoadStart[i] != schedule.NoEvent && tl.LoadStart[i] < from {
+				from = tl.LoadStart[i]
+			}
+			if tl.ExecStart[i] < from {
+				from = tl.ExecStart[i]
+			}
+		}
+		to = tl.End
+	}
+	if to <= from {
+		to = from + 1
+	}
+	span := float64(to - from)
+	col := func(t model.Time) int {
+		c := int(float64(t-from) / span * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time %v .. %v (makespan %v)\n", from, to, tl.Makespan())
+
+	paint := func(row []byte, a, z model.Time, glyph byte) {
+		ca, cz := col(a), col(z)
+		if cz == ca {
+			cz = ca + 1
+		}
+		for c := ca; c < cz && c < len(row); c++ {
+			row[c] = glyph
+		}
+	}
+
+	label := func(id graph.SubtaskID) byte {
+		const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+		if int(id) < len(digits) {
+			return digits[id]
+		}
+		return '#'
+	}
+
+	for t, order := range in.TileOrder {
+		row := bytes(width)
+		for _, id := range order {
+			if tl.LoadStart[id] != schedule.NoEvent {
+				paint(row, tl.LoadStart[id], tl.LoadEnd[id], 'L')
+			}
+			paint(row, tl.ExecStart[id], tl.ExecEnd[id], label(id))
+		}
+		fmt.Fprintf(&b, "tile %-2d |%s|\n", t, row)
+	}
+
+	port := bytes(width)
+	for i := 0; i < in.G.Len(); i++ {
+		if tl.LoadStart[i] != schedule.NoEvent {
+			paint(port, tl.LoadStart[i], tl.LoadEnd[i], label(graph.SubtaskID(i)))
+		}
+	}
+	fmt.Fprintf(&b, "port    |%s|\n", port)
+	return b.String()
+}
+
+func bytes(n int) []byte {
+	row := make([]byte, n)
+	for i := range row {
+		row[i] = ' '
+	}
+	return row
+}
+
+// Events lists the timeline's events in chronological order, one per
+// line — a machine-greppable complement to the Gantt view.
+func Events(in schedule.Input, tl *schedule.Timeline) string {
+	type ev struct {
+		at   model.Time
+		line string
+	}
+	var evs []ev
+	for i := 0; i < in.G.Len(); i++ {
+		id := graph.SubtaskID(i)
+		name := in.G.Subtask(id).Name
+		if tl.LoadStart[i] != schedule.NoEvent {
+			evs = append(evs, ev{tl.LoadStart[i], fmt.Sprintf("%v load  %s (subtask %d) on tile %d port %d until %v",
+				tl.LoadStart[i], name, i, in.Assignment[i], tl.LoadPort[i], tl.LoadEnd[i])})
+		}
+		evs = append(evs, ev{tl.ExecStart[i], fmt.Sprintf("%v exec  %s (subtask %d) on tile %d until %v",
+			tl.ExecStart[i], name, i, in.Assignment[i], tl.ExecEnd[i])})
+	}
+	for i := 0; i < len(evs); i++ {
+		for j := i + 1; j < len(evs); j++ {
+			if evs[j].at < evs[i].at {
+				evs[i], evs[j] = evs[j], evs[i]
+			}
+		}
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

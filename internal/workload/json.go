@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/tcm"
+)
+
+// The JSON workload schema lets users simulate their own applications
+// with cmd/drhwsim without writing Go. Times are written in (possibly
+// fractional) milliseconds. A minimal document:
+//
+//	{
+//	  "name": "custom",
+//	  "tasks": [{
+//	    "name": "pipeline",
+//	    "scenarios": [{
+//	      "subtasks": [
+//	        {"name": "a", "exec_ms": 10},
+//	        {"name": "b", "exec_ms": 10, "config": "shared/b"}
+//	      ],
+//	      "edges": [{"from": 0, "to": 1}]
+//	    }]
+//	  }]
+//	}
+
+// MixDoc is the top-level JSON document.
+type MixDoc struct {
+	Name  string    `json:"name"`
+	Tasks []TaskDoc `json:"tasks"`
+}
+
+// TaskDoc describes one dynamic task.
+type TaskDoc struct {
+	Name            string        `json:"name"`
+	ScenarioWeights []float64     `json:"scenario_weights,omitempty"`
+	Scenarios       []ScenarioDoc `json:"scenarios"`
+}
+
+// ScenarioDoc describes one scenario graph.
+type ScenarioDoc struct {
+	Name     string       `json:"name,omitempty"`
+	Subtasks []SubtaskDoc `json:"subtasks"`
+	Edges    []EdgeDoc    `json:"edges,omitempty"`
+}
+
+// SubtaskDoc describes one subtask.
+type SubtaskDoc struct {
+	Name   string  `json:"name"`
+	ExecMS float64 `json:"exec_ms"`
+	Config string  `json:"config,omitempty"`
+	LoadMS float64 `json:"load_ms,omitempty"`
+	OnISP  bool    `json:"on_isp,omitempty"`
+}
+
+// EdgeDoc describes one dependency by subtask index.
+type EdgeDoc struct {
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Bytes int `json:"bytes,omitempty"`
+}
+
+// ParseMix decodes and validates a JSON workload into TCM tasks plus
+// per-task scenario weights (nil when uniform).
+func ParseMix(data []byte) ([]*tcm.Task, [][]float64, error) {
+	var doc MixDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("workload: parsing mix: %w", err)
+	}
+	if len(doc.Tasks) == 0 {
+		return nil, nil, fmt.Errorf("workload: mix %q has no tasks", doc.Name)
+	}
+	var tasks []*tcm.Task
+	var weights [][]float64
+	for ti, td := range doc.Tasks {
+		if td.Name == "" {
+			td.Name = fmt.Sprintf("task%d", ti)
+		}
+		if len(td.Scenarios) == 0 {
+			return nil, nil, fmt.Errorf("workload: task %q has no scenarios", td.Name)
+		}
+		if td.ScenarioWeights != nil && len(td.ScenarioWeights) != len(td.Scenarios) {
+			return nil, nil, fmt.Errorf("workload: task %q has %d weights for %d scenarios",
+				td.Name, len(td.ScenarioWeights), len(td.Scenarios))
+		}
+		var scenarios []*graph.Graph
+		for si, sd := range td.Scenarios {
+			name := sd.Name
+			if name == "" {
+				name = fmt.Sprintf("%s-s%d", td.Name, si)
+			}
+			g := graph.New(name)
+			for _, st := range sd.Subtasks {
+				if st.ExecMS <= 0 {
+					return nil, nil, fmt.Errorf("workload: %s/%s: non-positive exec time", name, st.Name)
+				}
+				cfg := graph.ConfigID(st.Config)
+				if cfg == "" {
+					// Default sharing across scenarios of one task:
+					// slot identity by task and subtask name.
+					cfg = graph.ConfigID(td.Name + "/" + st.Name)
+				}
+				id := g.AddConfigured(st.Name, model.MS(st.ExecMS), cfg)
+				if st.LoadMS > 0 {
+					g.SetLoad(id, model.MS(st.LoadMS))
+				}
+				if st.OnISP {
+					g.SetOnISP(id, true)
+				}
+			}
+			for _, e := range sd.Edges {
+				if e.From < 0 || e.From >= g.Len() || e.To < 0 || e.To >= g.Len() {
+					return nil, nil, fmt.Errorf("workload: %s: edge %d->%d out of range", name, e.From, e.To)
+				}
+				g.AddEdgeBytes(graph.SubtaskID(e.From), graph.SubtaskID(e.To), e.Bytes)
+			}
+			if err := g.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("workload: %w", err)
+			}
+			scenarios = append(scenarios, g)
+		}
+		tasks = append(tasks, tcm.NewTask(td.Name, scenarios...))
+		weights = append(weights, td.ScenarioWeights)
+	}
+	return tasks, weights, nil
+}
+
+// ExportMix serializes tasks (with optional per-task scenario weights)
+// into the JSON schema, so the built-in workloads can be dumped,
+// edited, and re-imported.
+func ExportMix(name string, tasks []*tcm.Task, weights [][]float64) ([]byte, error) {
+	doc := MixDoc{Name: name}
+	for ti, task := range tasks {
+		td := TaskDoc{Name: task.Name}
+		if weights != nil && ti < len(weights) {
+			td.ScenarioWeights = weights[ti]
+		}
+		for _, g := range task.Scenarios {
+			sd := ScenarioDoc{Name: g.Name}
+			for _, st := range g.Subtasks() {
+				sd.Subtasks = append(sd.Subtasks, SubtaskDoc{
+					Name:   st.Name,
+					ExecMS: st.Exec.Milliseconds(),
+					Config: string(st.Config),
+					LoadMS: st.Load.Milliseconds(),
+					OnISP:  st.OnISP,
+				})
+			}
+			for _, e := range g.Edges() {
+				sd.Edges = append(sd.Edges, EdgeDoc{From: int(e.From), To: int(e.To), Bytes: e.Bytes})
+			}
+			td.Scenarios = append(td.Scenarios, sd)
+		}
+		doc.Tasks = append(doc.Tasks, td)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

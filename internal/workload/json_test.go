@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+)
+
+const sampleMix = `{
+  "name": "custom",
+  "tasks": [{
+    "name": "pipeline",
+    "scenario_weights": [0.75, 0.25],
+    "scenarios": [
+      {
+        "subtasks": [
+          {"name": "a", "exec_ms": 10},
+          {"name": "b", "exec_ms": 5.5, "config": "shared/b", "load_ms": 2},
+          {"name": "c", "exec_ms": 1, "on_isp": true}
+        ],
+        "edges": [{"from": 0, "to": 1, "bytes": 128}, {"from": 1, "to": 2}]
+      },
+      {
+        "subtasks": [
+          {"name": "a", "exec_ms": 20},
+          {"name": "b", "exec_ms": 11, "config": "shared/b"},
+          {"name": "c", "exec_ms": 2, "on_isp": true}
+        ],
+        "edges": [{"from": 0, "to": 1}, {"from": 1, "to": 2}]
+      }
+    ]
+  }]
+}`
+
+func TestParseMix(t *testing.T) {
+	tasks, weights, err := ParseMix([]byte(sampleMix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || len(tasks[0].Scenarios) != 2 {
+		t.Fatalf("tasks=%d scenarios=%d", len(tasks), len(tasks[0].Scenarios))
+	}
+	if weights[0][0] != 0.75 {
+		t.Fatalf("weights = %v", weights)
+	}
+	g := tasks[0].Scenarios[0]
+	if g.Subtask(0).Exec != 10*model.Millisecond {
+		t.Fatalf("exec = %v", g.Subtask(0).Exec)
+	}
+	if g.Subtask(1).Config != "shared/b" || g.Subtask(1).Load != model.MS(2) {
+		t.Fatalf("subtask b = %+v", g.Subtask(1))
+	}
+	if !g.Subtask(2).OnISP {
+		t.Fatal("on_isp lost")
+	}
+	// Default configs are shared per (task, subtask-name) slot, so the
+	// two scenarios' "a" subtasks reuse each other's bitstream.
+	if tasks[0].Scenarios[0].Subtask(0).Config != tasks[0].Scenarios[1].Subtask(0).Config {
+		t.Fatal("default config sharing across scenarios broken")
+	}
+	if len(g.Edges()) != 2 || g.Edges()[0].Bytes != 128 {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"no tasks":       `{"name":"x","tasks":[]}`,
+		"no scenarios":   `{"tasks":[{"name":"t","scenarios":[]}]}`,
+		"weight count":   `{"tasks":[{"name":"t","scenario_weights":[1],"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]},{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		"zero exec":      `{"tasks":[{"name":"t","scenarios":[{"subtasks":[{"name":"a","exec_ms":0}]}]}]}`,
+		"edge range":     `{"tasks":[{"name":"t","scenarios":[{"subtasks":[{"name":"a","exec_ms":1}],"edges":[{"from":0,"to":9}]}]}]}`,
+		"cyclic":         `{"tasks":[{"name":"t","scenarios":[{"subtasks":[{"name":"a","exec_ms":1},{"name":"b","exec_ms":1}],"edges":[{"from":0,"to":1},{"from":1,"to":0}]}]}]}`,
+		"duplicate edge": `{"tasks":[{"name":"t","scenarios":[{"subtasks":[{"name":"a","exec_ms":1},{"name":"b","exec_ms":1}],"edges":[{"from":0,"to":1},{"from":0,"to":1}]}]}]}`,
+	}
+	for name, doc := range cases {
+		if _, _, err := ParseMix([]byte(doc)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	apps := Multimedia()
+	ts := MultimediaTasks()
+	var weights [][]float64
+	for _, a := range apps {
+		weights = append(weights, a.ScenarioWeights)
+	}
+	data, err := ExportMix("multimedia", ts, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "mpeg/motion-est") {
+		t.Fatal("export lost configurations")
+	}
+	back, backWeights, err := ParseMix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ts) {
+		t.Fatalf("tasks = %d", len(back))
+	}
+	for ti := range ts {
+		if len(back[ti].Scenarios) != len(ts[ti].Scenarios) {
+			t.Fatalf("task %d scenario count mismatch", ti)
+		}
+		for si := range ts[ti].Scenarios {
+			a, b := ts[ti].Scenarios[si], back[ti].Scenarios[si]
+			if a.Len() != b.Len() || len(a.Edges()) != len(b.Edges()) {
+				t.Fatalf("scenario %d/%d structure mismatch", ti, si)
+			}
+			for i := 0; i < a.Len(); i++ {
+				sa, sb := a.Subtask(graph.SubtaskID(i)), b.Subtask(graph.SubtaskID(i))
+				if sa.Exec != sb.Exec || sa.Config != sb.Config || sa.OnISP != sb.OnISP {
+					t.Fatalf("subtask %d mismatch: %+v vs %+v", i, sa, sb)
+				}
+			}
+		}
+	}
+	if backWeights[3] == nil {
+		t.Fatal("MPEG weights lost in round trip")
+	}
+}

@@ -1,0 +1,256 @@
+// Package workload reconstructs the paper's benchmark set.
+//
+// The original applications (a Hough-transform pattern recognizer, two
+// JPEG decoders, an MPEG encoder and a Pocket GL 3D renderer) are not
+// publicly available, so this package models each as a subtask graph
+// calibrated against everything the paper publishes about it: subtask
+// count, ideal execution time, the overhead when every subtask is loaded
+// on demand, and the overhead under an optimal prefetch (Table 1); and
+// for Pocket GL the subtask-count/scenario structure, the 0.2–30 ms
+// execution range with a 5.7 ms average, and the 71 %/25 % baseline
+// overheads (§7). The calibration tests in this package check the match.
+//
+// Scenario graphs of one task share configuration IDs per subtask slot:
+// a scenario changes the data-dependent execution times, not the
+// bitstreams, which is what makes cross-iteration reuse possible.
+package workload
+
+import (
+	"fmt"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/tcm"
+)
+
+// PaperStats records what the paper reports for one application, for
+// paper-vs-measured tables.
+type PaperStats struct {
+	Name        string
+	Subtasks    int
+	IdealMS     float64 // "Ideal ex time"
+	OverheadPct float64 // on-demand loading, no reuse ("Overhead")
+	PrefetchPct float64 // optimal prefetch, no reuse ("Prefetch")
+}
+
+// App bundles a TCM task with its published reference numbers.
+type App struct {
+	Task  *tcm.Task
+	Paper PaperStats
+	// ScenarioWeights biases run-time scenario selection (e.g. the
+	// B/P/I frame mix for the MPEG encoder). Nil means uniform.
+	ScenarioWeights []float64
+}
+
+// chainCfg appends a subtask with an explicit shared configuration and
+// chains it after prev (if prev >= 0).
+func chainCfg(g *graph.Graph, prev graph.SubtaskID, name string, ms float64, cfg graph.ConfigID) graph.SubtaskID {
+	id := g.AddConfigured(name, model.MS(ms), cfg)
+	if prev >= 0 {
+		g.AddEdge(prev, id)
+	}
+	return id
+}
+
+// PatternRecognition models the Hough-transform pattern recognizer:
+// 6 subtasks, 94 ms ideal, a 4-stage critical pipeline plus two parallel
+// voting kernels. Paper: +17 % on demand, +4 % with optimal prefetch.
+func PatternRecognition() App {
+	g := graph.New("patrec")
+	edge := chainCfg(g, -1, "edge-detect", 30, "patrec/edge")
+	hough := chainCfg(g, edge, "hough-votes", 24, "patrec/hough")
+	peaks := chainCfg(g, hough, "peak-search", 20, "patrec/peaks")
+	match := chainCfg(g, peaks, "shape-match", 20, "patrec/match")
+	gradX := chainCfg(g, edge, "grad-x", 9, "patrec/gradx")
+	gradY := chainCfg(g, edge, "grad-y", 9, "patrec/grady")
+	_, _, _ = match, gradX, gradY
+	return App{
+		Task: tcm.NewTask("PatternRec", g),
+		Paper: PaperStats{
+			Name: "Pattern Rec.", Subtasks: 6, IdealMS: 94,
+			OverheadPct: 17, PrefetchPct: 4,
+		},
+	}
+}
+
+// JPEGDecoder models the sequential JPEG decoder: a 4-stage pipeline,
+// 81 ms ideal. Paper: +20 % on demand, +5 % with optimal prefetch.
+func JPEGDecoder() App {
+	g := graph.New("jpeg")
+	huff := chainCfg(g, -1, "huffman", 20, "jpeg/huffman")
+	deq := chainCfg(g, huff, "dequant", 20, "jpeg/dequant")
+	idct := chainCfg(g, deq, "idct", 20, "jpeg/idct")
+	chainCfg(g, idct, "color-conv", 21, "jpeg/color")
+	return App{
+		Task: tcm.NewTask("JPEGdec", g),
+		Paper: PaperStats{
+			Name: "JPEG dec.", Subtasks: 4, IdealMS: 81,
+			OverheadPct: 20, PrefetchPct: 5,
+		},
+	}
+}
+
+// ParallelJPEG models the parallel JPEG decoder: a splitter feeding
+// three unbalanced decode pipelines joined by a merge stage — 8
+// subtasks, 57 ms ideal. Paper: +35 % on demand, +7 % with prefetch.
+func ParallelJPEG() App {
+	g := graph.New("pjpeg")
+	split := chainCfg(g, -1, "split", 6, "pjpeg/split")
+	a1 := chainCfg(g, split, "luma-idct", 17, "pjpeg/a1")
+	a2 := chainCfg(g, a1, "luma-color", 17, "pjpeg/a2")
+	b1 := chainCfg(g, split, "chroma-idct", 10, "pjpeg/b1")
+	b2 := chainCfg(g, b1, "chroma-color", 10, "pjpeg/b2")
+	c1 := chainCfg(g, split, "header-scan", 5, "pjpeg/c1")
+	c2 := chainCfg(g, c1, "marker-fix", 5, "pjpeg/c2")
+	merge := g.AddConfigured("merge", model.MS(17), "pjpeg/merge")
+	g.AddEdge(a2, merge)
+	g.AddEdge(b2, merge)
+	g.AddEdge(c2, merge)
+	return App{
+		Task: tcm.NewTask("ParJPEG", g),
+		Paper: PaperStats{
+			Name: "Parallel JPEG", Subtasks: 8, IdealMS: 57,
+			OverheadPct: 35, PrefetchPct: 7,
+		},
+	}
+}
+
+// MPEGEncoder models the MPEG encoder with its three frame-type
+// scenarios (I, P, B). Every scenario is a 5-stage pipeline over the
+// same five configurations; the data-dependent stage times differ.
+// Paper (averages): 5 subtasks, 33 ms ideal, +56 % on demand, +18 %
+// with optimal prefetch.
+func MPEGEncoder() App {
+	stage := func(ms [5]float64, suffix string) *graph.Graph {
+		g := graph.New("mpeg-" + suffix)
+		names := [5]string{"preproc", "motion-est", "dct", "quant", "vlc"}
+		prev := graph.SubtaskID(-1)
+		for i := range names {
+			prev = chainCfg(g, prev, names[i], ms[i], graph.ConfigID("mpeg/"+names[i]))
+		}
+		return g
+	}
+	gI := stage([5]float64{2, 8, 9, 8, 8}, "I")
+	gP := stage([5]float64{2, 8, 8, 8, 7}, "P")
+	gB := stage([5]float64{2, 7, 8, 7, 7}, "B")
+	return App{
+		Task: tcm.NewTask("MPEGenc", gI, gP, gB),
+		Paper: PaperStats{
+			Name: "MPEG encoder", Subtasks: 5, IdealMS: 33,
+			OverheadPct: 56, PrefetchPct: 18,
+		},
+		// A typical GOP has few I frames, many B frames.
+		ScenarioWeights: []float64{0.1, 0.4, 0.5},
+	}
+}
+
+// Multimedia returns the paper's Table 1 benchmark set in table order.
+func Multimedia() []App {
+	return []App{PatternRecognition(), JPEGDecoder(), ParallelJPEG(), MPEGEncoder()}
+}
+
+// MultimediaTasks extracts the TCM tasks of the multimedia set.
+func MultimediaTasks() []*tcm.Task {
+	apps := Multimedia()
+	tasks := make([]*tcm.Task, len(apps))
+	for i := range apps {
+		tasks[i] = apps[i].Task
+	}
+	return tasks
+}
+
+// pglTaskOfSubtask maps each of the ten Pocket GL subtasks to its owning
+// dynamic task (the paper's six tasks with 1/2/2/2/2/1 subtasks).
+var pglTaskOfSubtask = [10]int{0, 1, 1, 2, 2, 3, 3, 4, 4, 5}
+
+// pglBaseMS holds the base (scenario factor 1.0) execution times of the
+// ten subtasks. Calibrated so that the average subtask time across the
+// inter-task scenarios is ≈5.7 ms, the range spans 0.2–30 ms, the
+// on-demand overhead is ≈71 % and the design-time prefetch overhead is
+// ≈25 % (paper §7).
+var pglBaseMS = [10]float64{0.5, 1.5, 2.0, 2.5, 3.0, 4.5, 6.0, 11.95, 24.8, 0.25}
+
+// pglScenarioCounts is the number of scenarios of each dynamic task.
+// The paper states task 4 has ten scenarios and task 5 has four; the
+// total across tasks is forty.
+var pglScenarioCounts = [6]int{4, 6, 8, 10, 4, 8}
+
+// pglCombos lists the paper's twenty feasible inter-task scenarios: one
+// scenario index per task. (The concrete combinations are not published;
+// this fixed table spans each task's scenario range.)
+var pglCombos = [20][6]int{
+	{0, 0, 0, 0, 0, 0}, {1, 1, 1, 1, 1, 1}, {2, 2, 2, 2, 2, 2}, {3, 3, 3, 3, 3, 3},
+	{0, 4, 4, 4, 0, 4}, {1, 5, 5, 5, 1, 5}, {2, 0, 6, 6, 2, 6}, {3, 1, 7, 7, 3, 7},
+	{0, 2, 0, 8, 0, 0}, {1, 3, 1, 9, 1, 1}, {2, 4, 2, 0, 2, 2}, {3, 5, 3, 1, 3, 3},
+	{0, 0, 4, 2, 0, 4}, {1, 1, 5, 3, 1, 5}, {2, 2, 6, 4, 2, 6}, {3, 3, 7, 5, 3, 7},
+	{0, 4, 0, 6, 0, 0}, {1, 5, 1, 7, 1, 1}, {2, 0, 2, 8, 2, 2}, {3, 1, 3, 9, 3, 3},
+}
+
+// pglFactor is the execution-time scale of one task scenario: scenarios
+// fan out around 1.0 so the scenario-averaged workload matches the
+// published averages.
+func pglFactor(task, scenario int) (num, den int64) {
+	count := int64(pglScenarioCounts[task])
+	// Factors range symmetrically in roughly [0.7, 1.3].
+	idx := int64(scenario)
+	return 10 + (2*idx+1-count)*3/count, 10
+}
+
+// PocketGLApp is the 3D rendering application: twenty inter-task
+// scenario graphs over ten shared configurations, plus the published
+// reference numbers.
+type PocketGLApp struct {
+	Task *tcm.Task // one scenario graph per inter-task scenario
+	// Paper reference values from §7.
+	PaperNoPrefetchPct float64 // 71
+	PaperDesignTimePct float64 // 25
+	PaperCriticalPct   float64 // 62
+}
+
+// PocketGL builds the 3D renderer. Each inter-task scenario is a
+// combined graph of the six pipeline tasks (the TCM run-time scheduler
+// selects among inter-task scenarios, so the combined graph is the unit
+// of design-time analysis). All scenarios share the ten configurations.
+func PocketGL() *PocketGLApp {
+	names := [10]string{
+		"vertex-fetch",
+		"model-xform", "view-xform",
+		"lighting", "clipping",
+		"raster", "zcull",
+		"texture", "blend",
+		"display",
+	}
+	var scenarios []*graph.Graph
+	for ci, combo := range pglCombos {
+		g := graph.New(fmt.Sprintf("pgl-%02d", ci))
+		prev := graph.SubtaskID(-1)
+		for si := 0; si < 10; si++ {
+			task := pglTaskOfSubtask[si]
+			num, den := pglFactor(task, combo[task])
+			ms := pglBaseMS[si] * float64(num) / float64(den)
+			cfg := graph.ConfigID("pgl/" + names[si])
+			prev = chainCfg(g, prev, names[si], ms, cfg)
+		}
+		scenarios = append(scenarios, g)
+	}
+	return &PocketGLApp{
+		Task:               tcm.NewTask("PocketGL", scenarios...),
+		PaperNoPrefetchPct: 71,
+		PaperDesignTimePct: 25,
+		PaperCriticalPct:   62,
+	}
+}
+
+// DistinctConfigs counts the distinct configurations across a task set —
+// the working-set size that tile count trades against for reuse.
+func DistinctConfigs(tasks []*tcm.Task) int {
+	seen := map[graph.ConfigID]bool{}
+	for _, t := range tasks {
+		for _, g := range t.Scenarios {
+			for _, s := range g.Subtasks() {
+				seen[s.Config] = true
+			}
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/tcm"
+)
+
+// table1Platform is the Table 1 measurement platform: enough tiles for
+// each application's natural parallelism, the paper's 4 ms loads.
+func table1Platform() platform.Platform { return platform.Default(4) }
+
+func TestTable1Structure(t *testing.T) {
+	apps := Multimedia()
+	if len(apps) != 4 {
+		t.Fatalf("got %d apps", len(apps))
+	}
+	for _, app := range apps {
+		for _, g := range app.Task.Scenarios {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s: %v", g.Name, err)
+			}
+			if g.Len() != app.Paper.Subtasks {
+				t.Errorf("%s: %d subtasks, paper says %d", app.Paper.Name, g.Len(), app.Paper.Subtasks)
+			}
+		}
+	}
+}
+
+func TestTable1IdealTimes(t *testing.T) {
+	for _, app := range Multimedia() {
+		m, err := MeasureApp(app, table1Platform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.IdealMS-app.Paper.IdealMS) > 0.5 {
+			t.Errorf("%s: ideal %.1fms, paper %.0fms", app.Paper.Name, m.IdealMS, app.Paper.IdealMS)
+		}
+	}
+}
+
+// TestTable1Calibration is the headline calibration check: the measured
+// "Overhead" (on-demand) and "Prefetch" (optimal prefetch) columns must
+// track the published ones. The tolerance is deliberately loose — the
+// applications are reconstructions — but tight enough that the ordering
+// and rough factors of Table 1 are preserved.
+func TestTable1Calibration(t *testing.T) {
+	for _, app := range Multimedia() {
+		m, err := MeasureApp(app, table1Platform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-14s ideal %.1fms  on-demand %+.1f%% (paper %+.0f%%)  prefetch %+.1f%% (paper %+.0f%%)",
+			app.Paper.Name, m.IdealMS, m.OnDemandPct, app.Paper.OverheadPct, m.PrefetchPct, app.Paper.PrefetchPct)
+		if math.Abs(m.OnDemandPct-app.Paper.OverheadPct) > 6 {
+			t.Errorf("%s: on-demand overhead %.1f%%, paper %.0f%%", app.Paper.Name, m.OnDemandPct, app.Paper.OverheadPct)
+		}
+		if math.Abs(m.PrefetchPct-app.Paper.PrefetchPct) > 4 {
+			t.Errorf("%s: prefetch overhead %.1f%%, paper %.0f%%", app.Paper.Name, m.PrefetchPct, app.Paper.PrefetchPct)
+		}
+	}
+}
+
+func TestTable1OrderingPreserved(t *testing.T) {
+	// MPEG > Parallel JPEG > JPEG > Pattern Rec in on-demand overhead.
+	apps := Multimedia()
+	var pct [4]float64
+	for i, app := range apps {
+		m, err := MeasureApp(app, table1Platform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pct[i] = m.OnDemandPct
+	}
+	// apps order: PatternRec, JPEG, ParallelJPEG, MPEG
+	if !(pct[3] > pct[2] && pct[2] > pct[1] && pct[1] > pct[0]) {
+		t.Fatalf("overhead ordering broken: %v", pct)
+	}
+}
+
+func TestMPEGScenariosShareConfigurations(t *testing.T) {
+	mpeg := MPEGEncoder()
+	if len(mpeg.Task.Scenarios) != 3 {
+		t.Fatalf("MPEG scenarios = %d", len(mpeg.Task.Scenarios))
+	}
+	base := mpeg.Task.Scenarios[0]
+	for _, g := range mpeg.Task.Scenarios[1:] {
+		for i := 0; i < g.Len(); i++ {
+			if g.Subtask(graph.SubtaskID(i)).Config != base.Subtask(graph.SubtaskID(i)).Config {
+				t.Fatal("frame-type scenarios must share bitstreams")
+			}
+		}
+	}
+	if mpeg.ScenarioWeights == nil || len(mpeg.ScenarioWeights) != 3 {
+		t.Fatal("MPEG should carry a frame-type mix")
+	}
+}
+
+func TestDistinctConfigCount(t *testing.T) {
+	// 6 + 4 + 8 + 5 = 23 configurations across the multimedia set: the
+	// working set the tile count trades against.
+	if got := DistinctConfigs(MultimediaTasks()); got != 23 {
+		t.Fatalf("multimedia distinct configs = %d, want 23", got)
+	}
+	if got := DistinctConfigs(nil); got != 0 {
+		t.Fatalf("empty set configs = %d", got)
+	}
+}
+
+func TestPocketGLStructure(t *testing.T) {
+	app := PocketGL()
+	if len(app.Task.Scenarios) != 20 {
+		t.Fatalf("inter-task scenarios = %d, want 20", len(app.Task.Scenarios))
+	}
+	for _, g := range app.Task.Scenarios {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if g.Len() != 10 {
+			t.Fatalf("%s: %d subtasks, want 10", g.Name, g.Len())
+		}
+	}
+	// Ten shared configurations across all scenarios.
+	if got := DistinctConfigs([]*tcm.Task{app.Task}); got != 10 {
+		t.Fatalf("PocketGL distinct configs = %d, want 10", got)
+	}
+}
+
+func TestPocketGLScenarioCounts(t *testing.T) {
+	// Task 4 (index 3) has ten scenarios, task 5 (index 4) has four,
+	// forty in total — straight from §7.
+	if pglScenarioCounts[3] != 10 || pglScenarioCounts[4] != 4 {
+		t.Fatal("published per-task scenario counts broken")
+	}
+	total := 0
+	for _, c := range pglScenarioCounts {
+		total += c
+	}
+	if total != 40 {
+		t.Fatalf("total scenarios = %d, want 40", total)
+	}
+	// Every combo must index valid scenarios.
+	for _, combo := range pglCombos {
+		for task, sc := range combo {
+			if sc < 0 || sc >= pglScenarioCounts[task] {
+				t.Fatalf("combo %v exceeds scenario count of task %d", combo, task)
+			}
+		}
+	}
+}
+
+func TestPocketGLCalibration(t *testing.T) {
+	app := PocketGL()
+	m, err := MeasurePocketGL(app, platform.Default(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("PocketGL: avg %.2fms (paper 5.7), range %.2f–%.1fms (paper 0.2–30), on-demand %+.1f%% (paper 71), design-time %+.1f%% (paper 25), critical %.0f%% (paper 62)",
+		m.AvgSubtaskMS, m.MinSubtaskMS, m.MaxSubtaskMS, m.OnDemandPct, m.DesignTimePct, m.CriticalPct)
+	if math.Abs(m.AvgSubtaskMS-5.7) > 0.5 {
+		t.Errorf("average subtask time %.2fms, paper 5.7ms", m.AvgSubtaskMS)
+	}
+	if m.MinSubtaskMS < 0.15 || m.MinSubtaskMS > 0.5 {
+		t.Errorf("min subtask %.3fms, paper 0.2ms", m.MinSubtaskMS)
+	}
+	if m.MaxSubtaskMS > 31 || m.MaxSubtaskMS < 25 {
+		t.Errorf("max subtask %.1fms, paper 30ms", m.MaxSubtaskMS)
+	}
+	if math.Abs(m.OnDemandPct-71) > 8 {
+		t.Errorf("on-demand overhead %.1f%%, paper 71%%", m.OnDemandPct)
+	}
+	if math.Abs(m.DesignTimePct-25) > 8 {
+		t.Errorf("design-time prefetch overhead %.1f%%, paper 25%%", m.DesignTimePct)
+	}
+	if m.CriticalPct < 30 || m.CriticalPct > 80 {
+		t.Errorf("critical fraction %.0f%%, paper 62%%", m.CriticalPct)
+	}
+}
