@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: help
+help: ## list targets
+	@awk 'BEGIN {FS = ":.*##"} /^[a-zA-Z_-]+:.*##/ {printf "  %-12s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
+
+.PHONY: build
+build: ## compile every package and command
+	$(GO) build ./...
+
+.PHONY: test
+test: ## run all tests with the race detector
+	$(GO) test -race ./...
+
+.PHONY: bench
+bench: ## run the full benchmark suite (regenerates the paper's numbers)
+	$(GO) test -run=^$$ -bench=. -benchmem ./...
+
+.PHONY: bench-sweep
+bench-sweep: ## serial vs concurrent engine on the §7 grid
+	$(GO) test -run=^$$ -bench=BenchmarkEngineSweep -benchtime=3x .
+
+.PHONY: lint
+lint: ## gofmt (diff check) + go vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+.PHONY: check
+check: lint build test ## what CI runs
+
+.PHONY: experiments
+experiments: ## regenerate every table and figure of the paper
+	$(GO) run ./cmd/experiments -cachestats

@@ -14,6 +14,7 @@ import (
 
 	drhw "drhwsched"
 	"drhwsched/internal/assign"
+	"drhwsched/internal/engine"
 	"drhwsched/internal/experiments"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/prefetch"
@@ -207,6 +208,56 @@ func BenchmarkAblationOptimality(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// engineSweepGrid is the §7-shaped grid BenchmarkEngineSweep runs: the
+// multimedia mix over three tile counts and all five scheduling flows.
+func engineSweepGrid(mix []sim.TaskMix) []engine.Run {
+	var runs []engine.Run
+	for _, tiles := range []int{8, 12, 16} {
+		for _, ap := range []sim.Approach{
+			sim.NoPrefetch, sim.DesignTimePrefetch, sim.RunTime, sim.RunTimeInterTask, sim.Hybrid,
+		} {
+			runs = append(runs, engine.Run{
+				X: tiles, Line: ap.String(), Mix: mix, Platform: platform.Default(tiles),
+				Options: sim.Options{Approach: ap, Iterations: benchIterations, Seed: 2005},
+			})
+		}
+	}
+	return runs
+}
+
+// BenchmarkEngineSweep compares the serial experiment loop against the
+// concurrent engine on the same §7 grid. "serial" is the pre-engine
+// path (one sim.Run after another, analyses re-derived per run);
+// "engine" fans the grid out over GOMAXPROCS workers with the analysis
+// cache cold at the start of every iteration. The engine's aggregate
+// series is byte-identical to the serial one (see
+// internal/engine TestSweepMatchesSerial); only the wall-clock differs.
+// The reported cache-hit-rate metric is the fraction of design-time
+// analyses served from cache within one sweep.
+func BenchmarkEngineSweep(b *testing.B) {
+	mix := multimediaMix()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range engineSweepGrid(mix) {
+				if _, err := sim.Run(r.Mix, r.Platform, r.Options); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		var st engine.CacheStats
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Config{})
+			if _, _, err := eng.Sweep("tiles", engineSweepGrid(mix)); err != nil {
+				b.Fatal(err)
+			}
+			st = eng.CacheStats()
+		}
+		b.ReportMetric(100*st.HitRate(), "cache-hit-%")
+	})
 }
 
 // BenchmarkEngine measures the raw timeline engine on the Pocket GL

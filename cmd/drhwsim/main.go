@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 
+	"drhwsched/internal/engine"
 	"drhwsched/internal/model"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/reconfig"
@@ -121,7 +122,8 @@ func main() {
 
 	p := platform.Default(*tiles)
 	p.ISPs = *isps
-	r, err := sim.Run(mix, p, sim.Options{
+	eng := engine.New(engine.Config{})
+	r, err := eng.Simulate(mix, p, sim.Options{
 		Approach:         ap,
 		Iterations:       *iterations,
 		Seed:             *seed,
@@ -149,6 +151,12 @@ func main() {
 	fmt.Printf("reconfig energy     %.1f mJ\n", r.LoadEnergy)
 	if r.CriticalPct > 0 {
 		fmt.Printf("critical subtasks   %.0f%% (average across analyses)\n", r.CriticalPct)
+	}
+	if r.CacheHits+r.CacheMisses > 0 {
+		// A single run computes each analysis once; reuse only shows up
+		// for repeated schedules (library users sharing one engine).
+		fmt.Printf("design-time work    %d analyses computed, %d served from cache\n",
+			r.CacheMisses, r.CacheHits)
 	}
 	if *schedCost {
 		fmt.Printf("scheduler CPU cost  %v (modelled)\n", r.SchedCost)

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	experiments [-run all|table1|figure6|figure7|scaling|ablations]
-//	            [-iterations N] [-seed S] [-csv]
+//	            [-iterations N] [-seed S] [-csv] [-workers N] [-cachestats]
 //
 // With -csv the figure series are additionally printed as CSV blocks for
-// plotting.
+// plotting. All simulation grids run on one shared engine: the cells
+// fan out over -workers concurrent simulations (default GOMAXPROCS)
+// and design-time analyses are computed once and reused across every
+// figure and ablation; -cachestats prints the cache counters at exit.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"drhwsched/internal/engine"
 	"drhwsched/internal/experiments"
 	"drhwsched/internal/stats"
 )
@@ -26,10 +30,13 @@ func main() {
 		iterations = flag.Int("iterations", 1000, "simulation iterations per data point (paper: 1000)")
 		seed       = flag.Int64("seed", 2005, "random seed")
 		csv        = flag.Bool("csv", false, "also print figure series as CSV")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0: GOMAXPROCS)")
+		cacheStats = flag.Bool("cachestats", false, "print analysis-cache statistics at exit")
 	)
 	flag.Parse()
 
-	opt := experiments.FigureOptions{Iterations: *iterations, Seed: *seed}
+	eng := engine.New(engine.Config{Workers: *workers})
+	opt := experiments.FigureOptions{Iterations: *iterations, Seed: *seed, Engine: eng}
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
 			return
@@ -145,4 +152,10 @@ func main() {
 		fmt.Println(tab)
 		return nil
 	})
+
+	if *cacheStats {
+		st := eng.CacheStats()
+		fmt.Printf("analysis cache: %d hits, %d misses (%.0f%% hit rate), %d entries, %d evictions\n",
+			st.Hits, st.Misses, 100*st.HitRate(), st.Entries, st.Evictions)
+	}
 }

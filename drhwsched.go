@@ -22,7 +22,10 @@
 //     cancellation and the inter-task optimization;
 //   - the reuse/replacement state (NewTileState, MapTiles, Resident);
 //   - the system simulator (Simulate) that reproduces the paper's
-//     experiments.
+//     experiments;
+//   - the concurrent experiment engine (NewEngine) that memoizes
+//     design-time analyses and fans simulation batches out over a
+//     worker pool.
 //
 // # Quick start
 //
@@ -43,6 +46,7 @@ package drhwsched
 import (
 	"drhwsched/internal/assign"
 	"drhwsched/internal/core"
+	"drhwsched/internal/engine"
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
 	"drhwsched/internal/platform"
@@ -232,3 +236,26 @@ const (
 func Simulate(mix []TaskMix, p Platform, opt SimOptions) (*SimResult, error) {
 	return sim.Run(mix, p, opt)
 }
+
+// Concurrent batch-experiment engine.
+type (
+	// Engine memoizes design-time analyses in a bounded LRU cache and
+	// fans independent simulation runs out over a worker pool. Use
+	// Engine.Simulate for single runs (results gain cache statistics)
+	// and Engine.Sweep/Engine.Batch for experiment grids.
+	Engine = engine.Engine
+	// EngineConfig sizes an engine's worker pool and analysis cache.
+	EngineConfig = engine.Config
+	// SweepRun is one cell of an experiment grid: a simulation recorded
+	// at sweep value X under series line Line.
+	SweepRun = engine.Run
+	// SweepResult pairs a grid cell with its outcome.
+	SweepResult = engine.RunResult
+	// CacheStats snapshots the engine's analysis-cache counters.
+	CacheStats = engine.CacheStats
+)
+
+// NewEngine creates an engine. The zero config means GOMAXPROCS
+// workers and a 256-entry analysis cache; create one engine per
+// process so every run shares the cache.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }

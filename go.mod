@@ -1,0 +1,3 @@
+module drhwsched
+
+go 1.24

@@ -1,0 +1,224 @@
+// Package engine is the concurrent batch-experiment engine: it reuses
+// the expensive design-time phase across simulations and fans
+// independent simulation runs out over a worker pool.
+//
+// The paper splits the hybrid heuristic into an expensive design-time
+// analysis (core.Analyze) and an O(N) run-time phase precisely so the
+// expensive part is computed once and amortized over every task
+// arrival. The engine applies the same idea to the experiment harness:
+// Analysis artifacts are memoized in a bounded LRU cache keyed by a
+// content fingerprint of (schedule, platform, options), so parameter
+// sweeps and repeated runs never re-derive an analysis they have
+// already paid for; and the independent cells of an experiment grid
+// (the §7 figures sweep tile counts × scheduling approaches) run
+// concurrently on GOMAXPROCS workers, streaming their results through
+// a channel-based collector that Sweep then aggregates, in input
+// order, into an internal/stats series.
+//
+// Every simulation a worker executes is the unmodified serial
+// sim.Run under a fixed seed, so a concurrent sweep produces exactly
+// the aggregates the serial loop would — only the wall-clock changes.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/core"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/sim"
+	"drhwsched/internal/stats"
+)
+
+// Config sizes an engine.
+type Config struct {
+	// Workers is the number of concurrent simulations a Sweep or Batch
+	// may run; zero or negative means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the analysis LRU cache (entries); zero or
+	// negative means 256.
+	CacheSize int
+}
+
+// Engine memoizes design-time analyses and schedules batches of
+// simulation runs over a worker pool. An Engine is safe for concurrent
+// use; create one per process (or per isolated experiment campaign) so
+// every run shares the same analysis cache.
+type Engine struct {
+	workers int
+	cache   *analysisCache
+}
+
+// New creates an engine from cfg (the zero Config is fully usable).
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	size := cfg.CacheSize
+	if size <= 0 {
+		size = 256
+	}
+	return &Engine{workers: w, cache: newAnalysisCache(size)}
+}
+
+// Workers reports the engine's worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats snapshots the analysis cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+
+// Analyze is the memoized core.Analyze: a cache hit skips the
+// design-time phase entirely and returns the stored artifact.
+func (e *Engine) Analyze(s *assign.Schedule, p platform.Platform, opt core.Options) (*core.Analysis, error) {
+	a, _, err := e.cache.get(Fingerprint(s, p, opt), func() (*core.Analysis, error) {
+		return core.Analyze(s, p, opt)
+	})
+	return a, err
+}
+
+// Simulate runs one simulation through the engine: identical to
+// sim.Run, except that every design-time analysis the run needs is
+// served from the shared cache, and the run's cache traffic is reported
+// in the result (CacheHits, CacheMisses, CacheHitRate). A
+// caller-supplied opt.Analyzer takes precedence: the engine then runs
+// the simulation with it untouched and stays out of the way, because
+// memoizing an unknown analyzer in the shared cache could leak its
+// artifacts into runs that expect core.Analyze's.
+func (e *Engine) Simulate(mix []sim.TaskMix, p platform.Platform, opt sim.Options) (*sim.Result, error) {
+	if opt.Analyzer != nil {
+		return sim.Run(mix, p, opt)
+	}
+	// sim.Run invokes the analyzer from its own single goroutine, so
+	// plain counters suffice.
+	var hits, misses int
+	opt.Analyzer = func(s *assign.Schedule, p platform.Platform, o core.Options) (*core.Analysis, error) {
+		a, hit, err := e.cache.get(Fingerprint(s, p, o), func() (*core.Analysis, error) {
+			return core.Analyze(s, p, o)
+		})
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+		return a, err
+	}
+	r, err := sim.Run(mix, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	r.CacheHits = hits
+	r.CacheMisses = misses
+	if total := r.CacheHits + r.CacheMisses; total > 0 {
+		r.CacheHitRate = float64(r.CacheHits) / float64(total)
+	}
+	return r, nil
+}
+
+// Run is one cell of an experiment grid: a simulation of Mix on
+// Platform under Options, recorded at sweep value X under series line
+// Line.
+type Run struct {
+	X        int
+	Line     string
+	Mix      []sim.TaskMix
+	Platform platform.Platform
+	Options  sim.Options
+}
+
+// RunResult pairs a grid cell with its outcome.
+type RunResult struct {
+	Run    Run
+	Result *sim.Result
+	Err    error
+}
+
+// Batch executes the runs on the worker pool and returns their results
+// in input order. All runs are attempted even if some fail; the first
+// failure (in input order) is returned as the error.
+func (e *Engine) Batch(runs []Run) ([]RunResult, error) {
+	return e.batch(runs)
+}
+
+// Sweep executes an experiment grid and aggregates it into a series:
+// each run's overhead percentage is recorded at (run.X, run.Line). The
+// series' lines appear in first-use order; param names the x axis.
+// Because every cell is an independent deterministic simulation and
+// the aggregation walks the collected results in input order (so a
+// duplicated cell resolves last-write-wins, like a serial loop), the
+// series is byte-identical to the one a serial loop over sim.Run
+// would produce.
+func (e *Engine) Sweep(param string, runs []Run) (*stats.Series, []RunResult, error) {
+	var lines []string
+	seen := map[string]bool{}
+	for _, r := range runs {
+		if !seen[r.Line] {
+			seen[r.Line] = true
+			lines = append(lines, r.Line)
+		}
+	}
+	out, err := e.batch(runs)
+	if err != nil {
+		return nil, out, err
+	}
+	series := stats.NewSeries(param, lines...)
+	for _, rr := range out {
+		series.Set(rr.Run.X, rr.Run.Line, rr.Result.OverheadPct)
+	}
+	return series, out, nil
+}
+
+// batch is the worker pool. Workers pull run indices from a jobs
+// channel and push finished cells to a results channel; the collector
+// (this goroutine) stores them in input order.
+func (e *Engine) batch(runs []Run) ([]RunResult, error) {
+	out := make([]RunResult, len(runs))
+	if len(runs) == 0 {
+		return out, nil
+	}
+	workers := e.workers
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+
+	type indexed struct {
+		i  int
+		rr RunResult
+	}
+	jobs := make(chan int)
+	results := make(chan indexed)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := runs[i]
+				res, err := e.Simulate(r.Mix, r.Platform, r.Options)
+				results <- indexed{i, RunResult{Run: r, Result: res, Err: err}}
+			}
+		}()
+	}
+	go func() {
+		for i := range runs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	for x := range results {
+		out[x.i] = x.rr
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			r := out[i].Run
+			return out, fmt.Errorf("engine: %s at x=%d: %w", r.Line, r.X, out[i].Err)
+		}
+	}
+	return out, nil
+}

@@ -9,10 +9,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"drhwsched/internal/assign"
 	"drhwsched/internal/core"
+	"drhwsched/internal/engine"
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
 	"drhwsched/internal/platform"
@@ -77,6 +79,13 @@ type FigureOptions struct {
 	// Iterations per simulation; zero means the paper's 1000.
 	Iterations int
 	Seed       int64
+	// Engine runs the simulations concurrently with memoized
+	// design-time analyses. Nil means the shared package-default
+	// engine, whose cache persists for the process lifetime so later
+	// experiments hit the analyses earlier ones cached; pass an
+	// explicit engine to isolate a campaign (e.g. to observe
+	// cold-cache behaviour).
+	Engine *engine.Engine
 }
 
 func (o FigureOptions) iterations() int {
@@ -84,6 +93,20 @@ func (o FigureOptions) iterations() int {
 		return 1000
 	}
 	return o.Iterations
+}
+
+// defaultEngine serves every FigureOptions without an explicit Engine,
+// so zero-value callers still share one analysis cache across figures
+// and ablations (Figures 6 and 7 revisit the same analyses).
+var defaultEngine = sync.OnceValue(func() *engine.Engine {
+	return engine.New(engine.Config{})
+})
+
+func (o FigureOptions) engine() *engine.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return defaultEngine()
 }
 
 // figureLines are the series of Figures 6 and 7: the paper's three
@@ -118,22 +141,28 @@ func mixOf(apps []workload.App) []sim.TaskMix {
 }
 
 // sweep runs every figure line over a tile range and fills a series with
-// the reconfiguration overhead percentages.
+// the reconfiguration overhead percentages. The grid cells are
+// independent simulations, so they fan out over the engine's worker
+// pool; the three reuse-aware lines at one tile count share a single
+// cached design-time analysis per (task, scenario).
 func sweep(mix []sim.TaskMix, tiles []int, opt FigureOptions) (*stats.Series, error) {
-	s := stats.NewSeries("tiles", figureLines...)
+	var runs []engine.Run
 	for _, n := range tiles {
 		p := platform.Default(n)
 		for _, line := range figureLines {
-			r, err := sim.Run(mix, p, sim.Options{
-				Approach:   approachOf(line),
-				Iterations: opt.iterations(),
-				Seed:       opt.Seed,
+			runs = append(runs, engine.Run{
+				X: n, Line: line, Mix: mix, Platform: p,
+				Options: sim.Options{
+					Approach:   approachOf(line),
+					Iterations: opt.iterations(),
+					Seed:       opt.Seed,
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s @ %d tiles: %w", line, n, err)
-			}
-			s.Set(n, line, r.OverheadPct)
 		}
+	}
+	s, _, err := opt.engine().Sweep("tiles", runs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	return s, nil
 }
@@ -273,18 +302,25 @@ func AblationReplacement(opt FigureOptions) (*stats.Table, error) {
 		{"belady", reconfig.Belady{}, true},
 		{"random", reconfig.Random{Rng: rand.New(rand.NewSource(opt.Seed))}, false},
 	}
+	var runs []engine.Run
 	for _, pc := range policies {
-		r, err := sim.Run(mix, p, sim.Options{
-			Approach:   sim.Hybrid,
-			Iterations: opt.iterations(),
-			Seed:       opt.Seed,
-			Policy:     pc.policy,
-			Lookahead:  pc.lookahead,
+		runs = append(runs, engine.Run{
+			X: p.Tiles, Line: pc.name, Mix: mix, Platform: p,
+			Options: sim.Options{
+				Approach:   sim.Hybrid,
+				Iterations: opt.iterations(),
+				Seed:       opt.Seed,
+				Policy:     pc.policy,
+				Lookahead:  pc.lookahead,
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		tab.AddRow(pc.name, fmt.Sprintf("%.2f", r.OverheadPct), fmt.Sprintf("%.1f", r.ReusePct))
+	}
+	results, err := opt.engine().Batch(runs)
+	if err != nil {
+		return nil, err
+	}
+	for _, rr := range results {
+		tab.AddRow(rr.Run.Line, fmt.Sprintf("%.2f", rr.Result.OverheadPct), fmt.Sprintf("%.1f", rr.Result.ReusePct))
 	}
 	return tab, nil
 }
@@ -302,6 +338,11 @@ func AblationInterTask(opt FigureOptions) (*stats.Table, error) {
 		{"multimedia", mixOf(workload.Multimedia()), 8},
 		{"pocketgl", []sim.TaskMix{{Task: workload.PocketGL().Task}}, 5},
 	}
+	type cell struct {
+		workload string
+		run      engine.Run
+	}
+	var cells []cell
 	for _, c := range cases {
 		for _, spec := range []struct {
 			name string
@@ -315,12 +356,21 @@ func AblationInterTask(opt FigureOptions) (*stats.Table, error) {
 			o := spec.opt
 			o.Iterations = opt.iterations()
 			o.Seed = opt.Seed
-			r, err := sim.Run(c.mix, platform.Default(c.tiles), o)
-			if err != nil {
-				return nil, err
-			}
-			tab.AddRow(c.workload, spec.name, fmt.Sprintf("%.2f", r.OverheadPct))
+			cells = append(cells, cell{workload: c.workload, run: engine.Run{
+				X: c.tiles, Line: spec.name, Mix: c.mix, Platform: platform.Default(c.tiles), Options: o,
+			}})
 		}
+	}
+	runs := make([]engine.Run, len(cells))
+	for i, c := range cells {
+		runs[i] = c.run
+	}
+	results, err := opt.engine().Batch(runs)
+	if err != nil {
+		return nil, err
+	}
+	for i, rr := range results {
+		tab.AddRow(cells[i].workload, rr.Run.Line, fmt.Sprintf("%.2f", rr.Result.OverheadPct))
 	}
 	return tab, nil
 }

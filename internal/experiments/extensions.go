@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"drhwsched/internal/engine"
 	"drhwsched/internal/model"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/sim"
@@ -22,23 +23,26 @@ func LatencySweep(opt FigureOptions) (*stats.Series, error) {
 	pgl := workload.PocketGL()
 	mix := []sim.TaskMix{{Task: pgl.Task}}
 	lines := []string{"no-prefetch", "run-time", "run-time+inter-task", "hybrid"}
-	s := stats.NewSeries("latency_us", lines...)
+	var runs []engine.Run
 	for _, lat := range []model.Dur{
 		model.MS(0.25), model.MS(0.5), model.MS(1), model.MS(2), model.MS(4),
 	} {
 		p := platform.Default(5)
 		p.ReconfigLatency = lat
 		for _, line := range lines {
-			r, err := sim.Run(mix, p, sim.Options{
-				Approach:   approachOf(line),
-				Iterations: opt.iterations(),
-				Seed:       opt.Seed,
+			runs = append(runs, engine.Run{
+				X: int(lat), Line: line, Mix: mix, Platform: p,
+				Options: sim.Options{
+					Approach:   approachOf(line),
+					Iterations: opt.iterations(),
+					Seed:       opt.Seed,
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: latency sweep %s @ %v: %w", line, lat, err)
-			}
-			s.Set(int(lat), line, r.OverheadPct)
 		}
+	}
+	s, _, err := opt.engine().Sweep("latency_us", runs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: latency sweep: %w", err)
 	}
 	return s, nil
 }
@@ -50,21 +54,24 @@ func LatencySweep(opt FigureOptions) (*stats.Series, error) {
 func PortSweep(opt FigureOptions) (*stats.Series, error) {
 	mix := mixOf(workload.Multimedia())
 	lines := []string{"no-prefetch", "design-time", "run-time", "hybrid"}
-	s := stats.NewSeries("ports", lines...)
+	var runs []engine.Run
 	for _, ports := range []int{1, 2, 3, 4} {
 		p := platform.Default(8)
 		p.Ports = ports
 		for _, line := range lines {
-			r, err := sim.Run(mix, p, sim.Options{
-				Approach:   approachOf(line),
-				Iterations: opt.iterations(),
-				Seed:       opt.Seed,
+			runs = append(runs, engine.Run{
+				X: ports, Line: line, Mix: mix, Platform: p,
+				Options: sim.Options{
+					Approach:   approachOf(line),
+					Iterations: opt.iterations(),
+					Seed:       opt.Seed,
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: port sweep %s @ %d: %w", line, ports, err)
-			}
-			s.Set(ports, line, r.OverheadPct)
 		}
+	}
+	s, _, err := opt.engine().Sweep("ports", runs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: port sweep: %w", err)
 	}
 	return s, nil
 }
@@ -79,21 +86,29 @@ func SchedulerCostImpact(opt FigureOptions) (*stats.Table, error) {
 	mix := []sim.TaskMix{{Task: pgl.Task}}
 	p := platform.Default(8)
 	tab := stats.NewTable("Approach", "Overhead %", "Modelled scheduler cost / instance")
+	var runs []engine.Run
 	for _, ap := range []sim.Approach{sim.RunTime, sim.RunTimeInterTask, sim.Hybrid} {
-		r, err := sim.Run(mix, p, sim.Options{
-			Approach:      ap,
-			Iterations:    opt.iterations(),
-			Seed:          opt.Seed,
-			SchedulerCost: true,
+		runs = append(runs, engine.Run{
+			X: p.Tiles, Line: ap.String(), Mix: mix, Platform: p,
+			Options: sim.Options{
+				Approach:      ap,
+				Iterations:    opt.iterations(),
+				Seed:          opt.Seed,
+				SchedulerCost: true,
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := opt.engine().Batch(runs)
+	if err != nil {
+		return nil, err
+	}
+	for _, rr := range results {
+		r := rr.Result
 		per := model.Dur(0)
 		if r.Instances > 0 {
 			per = r.SchedCost / model.Dur(r.Instances)
 		}
-		tab.AddRow(ap.String(), fmt.Sprintf("%.2f", r.OverheadPct), per.String())
+		tab.AddRow(rr.Run.Line, fmt.Sprintf("%.2f", r.OverheadPct), per.String())
 	}
 	return tab, nil
 }

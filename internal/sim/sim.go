@@ -104,7 +104,18 @@ type Options struct {
 	// iteration's tasks, run back to back, fit the deadline. Zero
 	// keeps the default of always using the fastest (widest) point.
 	Deadline model.Dur
+	// Analyzer computes (or retrieves) the design-time analysis of one
+	// schedule. Nil means core.Analyze directly; internal/engine
+	// injects its memoizing cache here so repeated runs and parameter
+	// sweeps skip design-time phases they have already paid for. An
+	// Analyzer must return artifacts equivalent to core.Analyze's —
+	// the run's results do not depend on which one served them.
+	Analyzer AnalyzeFunc
 }
+
+// AnalyzeFunc computes or retrieves the design-time analysis of a
+// schedule on a platform.
+type AnalyzeFunc func(*assign.Schedule, platform.Platform, core.Options) (*core.Analysis, error)
 
 // Result aggregates a simulation.
 type Result struct {
@@ -142,6 +153,14 @@ type Result struct {
 	// PointEnergy sums the TCM energy estimates of the selected Pareto
 	// points (only accumulated in deadline mode).
 	PointEnergy float64
+
+	// CacheHits and CacheMisses count the design-time analysis cache
+	// lookups made on behalf of this run when it was driven through an
+	// internal/engine Engine; both stay zero for direct sim.Run calls.
+	// CacheHitRate is CacheHits over total lookups (0 when none).
+	CacheHits    int
+	CacheMisses  int
+	CacheHitRate float64
 }
 
 // prepared caches the design-time artifacts of one concrete schedule
@@ -162,7 +181,9 @@ type scenPrep struct {
 }
 
 // makePrepared builds the per-schedule artifacts an approach needs.
-func makePrepared(s *assign.Schedule, p platform.Platform, approach Approach) (*prepared, error) {
+// analyze serves the design-time analyses (core.Analyze or a memoizing
+// wrapper).
+func makePrepared(s *assign.Schedule, p platform.Platform, approach Approach, analyze AnalyzeFunc) (*prepared, error) {
 	pr := &prepared{sched: s}
 	for _, st := range s.G.Subtasks() {
 		if !st.OnISP {
@@ -175,7 +196,7 @@ func makePrepared(s *assign.Schedule, p platform.Platform, approach Approach) (*
 		// which consumes the design-time criticality analysis (the
 		// paper's Fig. 2 flow applies the same reuse and replacement
 		// modules around every prefetch heuristic).
-		a, err := core.Analyze(s, p, core.Options{})
+		a, err := analyze(s, p, core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("sim: analyzing %q: %w", s.G.Name, err)
 		}
@@ -210,6 +231,10 @@ func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
 		policy = reconfig.LRU{}
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
+	analyze := opt.Analyzer
+	if analyze == nil {
+		analyze = core.Analyze
+	}
 
 	// Design-time preparation.
 	prep := make([][]*scenPrep, len(mix))
@@ -238,7 +263,7 @@ func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
 				curve := ds.Curve(mi, si)
 				sp := &scenPrep{curve: curve}
 				for _, pt := range curve.Points {
-					pr, err := makePrepared(pt.Sched, p, opt.Approach)
+					pr, err := makePrepared(pt.Sched, p, opt.Approach, analyze)
 					if err != nil {
 						return nil, err
 					}
@@ -256,7 +281,7 @@ func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("sim: scheduling %q: %w", g.Name, err)
 				}
-				pr, err := makePrepared(s, p, opt.Approach)
+				pr, err := makePrepared(s, p, opt.Approach, analyze)
 				if err != nil {
 					return nil, err
 				}
