@@ -32,3 +32,11 @@ check: lint build test ## what CI runs
 .PHONY: experiments
 experiments: ## regenerate every table and figure of the paper
 	$(GO) run ./cmd/experiments -cachestats
+
+.PHONY: serve
+serve: ## run the drhwd scheduling service on :8080
+	$(GO) run ./cmd/drhwd -addr 127.0.0.1:8080
+
+.PHONY: loadtest
+loadtest: ## boot drhwd, drive it with drhwload, assert 2xx + cache hits
+	./scripts/smoke.sh

@@ -1,0 +1,72 @@
+// Command drhwd is the scheduling-as-a-service daemon: an HTTP/JSON
+// server over the analysis-caching experiment engine. One shared engine
+// serves every request, so concurrent clients analyzing or simulating
+// the same workloads hit each other's cached design-time analyses.
+//
+// Usage:
+//
+//	drhwd [-addr host:port] [-workers N] [-cache N]
+//	      [-max-inflight N] [-max-subtasks N] [-max-sweep-cells N]
+//	      [-timeout D] [-drain D]
+//
+// Endpoints: POST /v1/analyze, POST /v1/simulate, POST /v1/sweep
+// (streaming NDJSON), GET /healthz, GET /metrics. Request bodies are
+// workload JSON documents (see internal/workload's schema comment).
+//
+// Use -addr 127.0.0.1:0 for an ephemeral port; the bound address is
+// logged as "listening on HOST:PORT" once the listener is up. SIGINT
+// and SIGTERM trigger a graceful drain: the listener closes, in-flight
+// requests get -drain to finish, then their contexts are canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"drhwsched/internal/engine"
+	"drhwsched/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks an ephemeral port)")
+		workers     = flag.Int("workers", 0, "engine worker-pool size (0: GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 0, "analysis-cache entries (0: 256)")
+		maxInflight = flag.Int("max-inflight", 0, "admitted concurrent requests before 429 (0: 2*GOMAXPROCS)")
+		maxSubtasks = flag.Int("max-subtasks", 0, "per-document subtask bound before 413 (0: 4096)")
+		maxCells    = flag.Int("max-sweep-cells", 0, "per-sweep grid-cell bound before 413 (0: 1024)")
+		timeout     = flag.Duration("timeout", 0, "per-request deadline (0: 60s)")
+		drain       = flag.Duration("drain", 0, "shutdown drain budget for in-flight requests (0: 10s)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv := server.New(server.Config{
+		Engine:         engine.New(engine.Config{Workers: *workers, CacheSize: *cacheSize}),
+		MaxInFlight:    *maxInflight,
+		MaxSubtasks:    *maxSubtasks,
+		MaxSweepCells:  *maxCells,
+		MaxBodyBytes:   0,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		Logf:           logger.Printf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "drhwd: %v\n", err)
+		os.Exit(1)
+	}
+	st := srv.Engine().CacheStats()
+	logger.Printf("drhwd: exiting after %v (cache: %d hits, %d misses, %d entries)",
+		time.Since(start).Round(time.Millisecond), st.Hits, st.Misses, st.Entries)
+}

@@ -1,0 +1,273 @@
+// Command drhwload is a closed-loop load generator for drhwd: it
+// drives the service at a target request rate with a mixed corpus of
+// workload documents drawn from the built-in benchmark set, then
+// reports throughput, status codes, and latency percentiles, so the
+// service benchmarks itself end to end.
+//
+// Usage:
+//
+//	drhwload -url http://127.0.0.1:8080 [-duration 5s] [-rps 20]
+//	         [-concurrency 8] [-iterations 60] [-seeds 3]
+//	         [-endpoints analyze,simulate]
+//	         [-require-2xx 1.0] [-require-cache-hits]
+//
+// The loop is closed: -concurrency workers each issue the next request
+// only after the previous response, and a pacer caps the aggregate rate
+// at -rps (when workers saturate, the achieved rate drops below the
+// target instead of queueing unboundedly). Simulate requests rotate
+// through -seeds distinct seeds per document, so repeated requests
+// exercise the engine's analysis cache — the CI smoke test asserts the
+// hits are non-zero via -require-cache-hits.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"drhwsched/internal/tcm"
+	"drhwsched/internal/workload"
+)
+
+type result struct {
+	status  int // 0 on transport error
+	latency time.Duration
+	err     error
+}
+
+// corpusItem is one prepared request.
+type corpusItem struct {
+	endpoint string // "analyze" | "simulate"
+	body     []byte
+}
+
+// buildCorpus prepares the request bodies: every multimedia app as its
+// own document plus the combined mix, each as an analyze request and as
+// seeds simulate variants. Simulation iteration counts stay small —
+// load tests want many requests, not long ones.
+func buildCorpus(endpoints []string, iterations, seeds int) ([]corpusItem, error) {
+	type mixDoc struct {
+		name    string
+		tasks   []*tcm.Task
+		weights [][]float64
+	}
+	var docs []mixDoc
+	apps := workload.Multimedia()
+	var all []*tcm.Task
+	var allW [][]float64
+	for _, a := range apps {
+		docs = append(docs, mixDoc{a.Task.Name, []*tcm.Task{a.Task}, [][]float64{a.ScenarioWeights}})
+		all = append(all, a.Task)
+		allW = append(allW, a.ScenarioWeights)
+	}
+	docs = append(docs, mixDoc{"multimedia", all, allW})
+
+	want := map[string]bool{}
+	for _, e := range endpoints {
+		want[strings.TrimSpace(e)] = true
+	}
+	var corpus []corpusItem
+	for _, d := range docs {
+		doc := workload.DocOf(d.name, d.tasks, d.weights)
+		if want["analyze"] {
+			body, err := json.Marshal(doc)
+			if err != nil {
+				return nil, err
+			}
+			corpus = append(corpus, corpusItem{"analyze", body})
+		}
+		if want["simulate"] {
+			for seed := 1; seed <= seeds; seed++ {
+				doc.Sim = &workload.SimDoc{Approach: "hybrid", Iterations: iterations, Seed: int64(seed)}
+				body, err := json.Marshal(doc)
+				if err != nil {
+					return nil, err
+				}
+				corpus = append(corpus, corpusItem{"simulate", body})
+			}
+		}
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("no corpus: endpoints %v selected nothing (use analyze,simulate)", endpoints)
+	}
+	return corpus, nil
+}
+
+// cacheHits scrapes drhwd_engine_cache_hits_total from /metrics.
+func cacheHits(client *http.Client, base string) (int64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "drhwd_engine_cache_hits_total "); ok {
+			return strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("drhwd_engine_cache_hits_total not found in /metrics")
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "base URL of the drhwd service")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to drive load")
+		rps         = flag.Float64("rps", 20, "target aggregate request rate")
+		concurrency = flag.Int("concurrency", 8, "closed-loop worker count")
+		iterations  = flag.Int("iterations", 60, "simulation iterations per simulate request")
+		seeds       = flag.Int("seeds", 3, "distinct seeds per simulate document (cache-hit variety)")
+		endpoints   = flag.String("endpoints", "analyze,simulate", "comma-separated endpoint mix")
+		require2xx  = flag.Float64("require-2xx", -1, "exit non-zero unless the 2xx rate reaches this fraction (e.g. 1.0)")
+		requireHits = flag.Bool("require-cache-hits", false, "exit non-zero unless the engine reports cache hits > 0")
+	)
+	flag.Parse()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "drhwload: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *rps <= 0 || *concurrency < 1 {
+		fail("need -rps > 0 and -concurrency >= 1")
+	}
+	corpus, err := buildCorpus(strings.Split(*endpoints, ","), *iterations, *seeds)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	client := &http.Client{Timeout: 2 * *duration}
+	base := strings.TrimRight(*url, "/")
+	if resp, err := client.Get(base + "/healthz"); err != nil {
+		fail("service not reachable: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("healthz returned %d", resp.StatusCode)
+		}
+	}
+
+	// Pacer: one token per 1/rps tick, blocking — saturated workers
+	// throttle the pacer (closed loop) instead of growing a queue.
+	work := make(chan int)
+	results := make(chan result, 1024)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				item := corpus[i%len(corpus)]
+				start := time.Now()
+				resp, err := client.Post(base+"/v1/"+item.endpoint, "application/json", bytes.NewReader(item.body))
+				r := result{latency: time.Since(start), err: err}
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					r.status = resp.StatusCode
+				}
+				results <- r
+			}
+		}()
+	}
+
+	started := time.Now()
+	go func() {
+		ticker := time.NewTicker(time.Duration(float64(time.Second) / *rps))
+		defer ticker.Stop()
+		deadline := time.After(*duration)
+		for i := 0; ; i++ {
+			select {
+			case <-deadline:
+				close(work)
+				return
+			case <-ticker.C:
+				select {
+				case work <- i:
+				case <-deadline:
+					close(work)
+					return
+				}
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(results) }()
+
+	var all []time.Duration
+	var ok2xx, errored int
+	byStatus := map[int]int{}
+	for r := range results {
+		all = append(all, r.latency)
+		switch {
+		case r.err != nil:
+			errored++
+		default:
+			byStatus[r.status]++
+			if r.status >= 200 && r.status < 300 {
+				ok2xx++
+			}
+		}
+	}
+	elapsed := time.Since(started)
+
+	total := len(all)
+	if total == 0 {
+		fail("no requests completed")
+	}
+	rate := float64(ok2xx) / float64(total)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	fmt.Printf("target              %.1f rps for %v (%d workers, corpus of %d)\n", *rps, *duration, *concurrency, len(corpus))
+	fmt.Printf("requests            %d (%.1f rps achieved)\n", total, float64(total)/elapsed.Seconds())
+	fmt.Printf("2xx                 %d (%.1f%%), transport errors %d\n", ok2xx, 100*rate, errored)
+	codes := make([]int, 0, len(byStatus))
+	for c := range byStatus {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  status %d        %d\n", c, byStatus[c])
+	}
+	fmt.Printf("latency             p50 %v  p90 %v  p99 %v  max %v\n",
+		percentile(all, 0.50).Round(time.Microsecond),
+		percentile(all, 0.90).Round(time.Microsecond),
+		percentile(all, 0.99).Round(time.Microsecond),
+		all[len(all)-1].Round(time.Microsecond))
+
+	hits, err := cacheHits(client, base)
+	if err != nil {
+		fmt.Printf("cache hits          unavailable (%v)\n", err)
+	} else {
+		fmt.Printf("cache hits          %d (engine-wide)\n", hits)
+	}
+
+	if *require2xx >= 0 && rate < *require2xx {
+		fail("2xx rate %.3f below required %.3f", rate, *require2xx)
+	}
+	if *requireHits {
+		if err != nil {
+			fail("cache hits required but unreadable: %v", err)
+		}
+		if hits <= 0 {
+			fail("cache hits required but engine reports %d", hits)
+		}
+	}
+}

@@ -3,24 +3,28 @@
 //
 // Usage:
 //
-//	drhwsim [-workload multimedia|pocketgl] [-approach A] [-tiles N]
-//	        [-iterations N] [-seed S] [-policy lru|fifo|belady|random]
-//	        [-schedcost] [-no-intertask]
+//	drhwsim [-workload multimedia|pocketgl] [-config file.json] [-export]
+//	        [-approach A] [-tiles N] [-isps N] [-iterations N] [-seed S]
+//	        [-policy lru|fifo|belady|random] [-schedcost] [-no-intertask]
+//	        [-deadline MS]
 //
 // Approaches: no-prefetch, design-time, run-time, run-time+inter-task,
 // hybrid (default).
+//
+// -config replaces the built-in workload with a JSON document in the
+// internal/workload schema; -export prints the selected built-in
+// workload as such a document and exits, so built-ins can be dumped,
+// edited, and fed back in.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"drhwsched/internal/engine"
 	"drhwsched/internal/model"
 	"drhwsched/internal/platform"
-	"drhwsched/internal/reconfig"
 	"drhwsched/internal/sim"
 	"drhwsched/internal/tcm"
 	"drhwsched/internal/workload"
@@ -66,7 +70,7 @@ func main() {
 	case *wl == "pocketgl":
 		mix = []sim.TaskMix{{Task: workload.PocketGL().Task}}
 	default:
-		fmt.Fprintf(os.Stderr, "drhwsim: unknown workload %q\n", *wl)
+		fmt.Fprintf(os.Stderr, "drhwsim: unknown workload %q (use multimedia|pocketgl, or -config file.json)\n", *wl)
 		os.Exit(2)
 	}
 
@@ -86,37 +90,15 @@ func main() {
 		return
 	}
 
-	var ap sim.Approach
-	switch *approach {
-	case "no-prefetch":
-		ap = sim.NoPrefetch
-	case "design-time":
-		ap = sim.DesignTimePrefetch
-	case "run-time":
-		ap = sim.RunTime
-	case "run-time+inter-task":
-		ap = sim.RunTimeInterTask
-	case "hybrid":
-		ap = sim.Hybrid
-	default:
-		fmt.Fprintf(os.Stderr, "drhwsim: unknown approach %q\n", *approach)
+	ap, err := workload.ParseApproach(*approach)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
 		os.Exit(2)
 	}
 
-	var pol reconfig.Policy
-	lookahead := false
-	switch *policy {
-	case "lru":
-		pol = reconfig.LRU{}
-	case "fifo":
-		pol = reconfig.FIFO{}
-	case "belady":
-		pol = reconfig.Belady{}
-		lookahead = true
-	case "random":
-		pol = reconfig.Random{Rng: rand.New(rand.NewSource(*seed))}
-	default:
-		fmt.Fprintf(os.Stderr, "drhwsim: unknown policy %q\n", *policy)
+	pol, lookahead, err := workload.ParsePolicy(*policy, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
 		os.Exit(2)
 	}
 

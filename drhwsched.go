@@ -25,7 +25,10 @@
 //     experiments;
 //   - the concurrent experiment engine (NewEngine) that memoizes
 //     design-time analyses and fans simulation batches out over a
-//     worker pool.
+//     worker pool;
+//   - the scheduling service (NewServer, ListenAndServe): the HTTP/JSON
+//     daemon of cmd/drhwd, serving analyze/simulate/sweep over one
+//     shared engine with admission control and streaming sweeps.
 //
 // # Quick start
 //
@@ -44,6 +47,8 @@
 package drhwsched
 
 import (
+	"context"
+
 	"drhwsched/internal/assign"
 	"drhwsched/internal/core"
 	"drhwsched/internal/engine"
@@ -52,6 +57,7 @@ import (
 	"drhwsched/internal/platform"
 	"drhwsched/internal/prefetch"
 	"drhwsched/internal/reconfig"
+	"drhwsched/internal/server"
 	"drhwsched/internal/sim"
 	"drhwsched/internal/tcm"
 )
@@ -259,3 +265,28 @@ type (
 // workers and a 256-entry analysis cache; create one engine per
 // process so every run shares the cache.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// Scheduling service (the drhwd daemon's serving layer).
+type (
+	// Server is the HTTP/JSON scheduling service over a shared engine:
+	// POST /v1/analyze, /v1/simulate, /v1/sweep (streaming NDJSON), GET
+	// /healthz and /metrics, with admission control and graceful drain.
+	// It implements http.Handler.
+	Server = server.Server
+	// ServerConfig sizes the service: shared engine, in-flight and
+	// document bounds, per-request timeout, drain budget.
+	ServerConfig = server.Config
+)
+
+// NewServer builds a scheduling service (the zero config is fully
+// usable: fresh engine, 2×GOMAXPROCS in-flight slots, 60 s request
+// deadline). Mount it on any mux, or run it with ListenAndServe.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// ListenAndServe runs a scheduling service on addr until ctx is
+// canceled, then drains in-flight requests. Equivalent to
+// NewServer(cfg).ListenAndServe(ctx, addr); cmd/drhwd is this plus
+// flags and signal handling.
+func ListenAndServe(ctx context.Context, addr string, cfg ServerConfig) error {
+	return server.New(cfg).ListenAndServe(ctx, addr)
+}

@@ -21,6 +21,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -128,8 +129,11 @@ type Run struct {
 	Options  sim.Options
 }
 
-// RunResult pairs a grid cell with its outcome.
+// RunResult pairs a grid cell with its outcome. Index is the cell's
+// position in the input slice, so consumers of the completion-ordered
+// Stream can restore input order.
 type RunResult struct {
+	Index  int
 	Run    Run
 	Result *sim.Result
 	Err    error
@@ -139,7 +143,42 @@ type RunResult struct {
 // in input order. All runs are attempted even if some fail; the first
 // failure (in input order) is returned as the error.
 func (e *Engine) Batch(runs []Run) ([]RunResult, error) {
-	return e.batch(runs)
+	return e.BatchContext(context.Background(), runs)
+}
+
+// BatchContext is Batch under a cancellation context: once ctx is
+// canceled, queued cells are abandoned and in-flight simulations abort
+// at their next iteration boundary. Abandoned and aborted cells carry
+// the cancellation error in their RunResult.
+func (e *Engine) BatchContext(ctx context.Context, runs []Run) ([]RunResult, error) {
+	out := make([]RunResult, len(runs))
+	got := make([]bool, len(runs))
+	for rr := range e.Stream(ctx, runs) {
+		out[rr.Index] = rr
+		got[rr.Index] = true
+	}
+	for i := range out {
+		if !got[i] {
+			out[i] = RunResult{Index: i, Run: runs[i], Err: ctx.Err()}
+		}
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			r := out[i].Run
+			return out, fmt.Errorf("engine: %s at x=%d: %w", r.Line, r.X, out[i].Err)
+		}
+	}
+	return out, nil
+}
+
+// SimulateContext is Simulate under a cancellation context (threaded
+// into the simulation via sim.Options.Context unless the caller already
+// set one). Cancellation never alters a completed run's results.
+func (e *Engine) SimulateContext(ctx context.Context, mix []sim.TaskMix, p platform.Platform, opt sim.Options) (*sim.Result, error) {
+	if opt.Context == nil && ctx != nil {
+		opt.Context = ctx
+	}
+	return e.Simulate(mix, p, opt)
 }
 
 // Sweep executes an experiment grid and aggregates it into a series:
@@ -159,7 +198,7 @@ func (e *Engine) Sweep(param string, runs []Run) (*stats.Series, []RunResult, er
 			lines = append(lines, r.Line)
 		}
 	}
-	out, err := e.batch(runs)
+	out, err := e.Batch(runs)
 	if err != nil {
 		return nil, out, err
 	}
@@ -170,26 +209,31 @@ func (e *Engine) Sweep(param string, runs []Run) (*stats.Series, []RunResult, er
 	return series, out, nil
 }
 
-// batch is the worker pool. Workers pull run indices from a jobs
-// channel and push finished cells to a results channel; the collector
-// (this goroutine) stores them in input order.
-func (e *Engine) batch(runs []Run) ([]RunResult, error) {
-	out := make([]RunResult, len(runs))
+// Stream is the worker pool's streaming face: it executes the runs
+// concurrently and delivers each cell on the returned channel the
+// moment its simulation finishes, in completion order, closing the
+// channel once every delivered cell is out. This is what the drhwd
+// service's NDJSON sweep endpoint consumes — clients see results
+// trickle in while the grid is still running.
+//
+// Cancellation: once ctx is canceled the feeder stops handing out
+// cells, in-flight simulations abort at their next iteration boundary
+// (via sim.Options.Context), and delivery becomes best-effort — the
+// channel still closes promptly even if the consumer has stopped
+// reading. Cells that never reached the channel are simply absent;
+// BatchContext reconstructs them with the cancellation error.
+func (e *Engine) Stream(ctx context.Context, runs []Run) <-chan RunResult {
+	out := make(chan RunResult)
 	if len(runs) == 0 {
-		return out, nil
+		close(out)
+		return out
 	}
 	workers := e.workers
 	if workers > len(runs) {
 		workers = len(runs)
 	}
 
-	type indexed struct {
-		i  int
-		rr RunResult
-	}
 	jobs := make(chan int)
-	results := make(chan indexed)
-
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -197,28 +241,27 @@ func (e *Engine) batch(runs []Run) ([]RunResult, error) {
 			defer wg.Done()
 			for i := range jobs {
 				r := runs[i]
-				res, err := e.Simulate(r.Mix, r.Platform, r.Options)
-				results <- indexed{i, RunResult{Run: r, Result: res, Err: err}}
+				res, err := e.SimulateContext(ctx, r.Mix, r.Platform, r.Options)
+				select {
+				case out <- RunResult{Index: i, Run: r, Result: res, Err: err}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
 	go func() {
+	feed:
 		for i := range runs {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
-		close(results)
+		close(out)
 	}()
-
-	for x := range results {
-		out[x.i] = x.rr
-	}
-	for i := range out {
-		if out[i].Err != nil {
-			r := out[i].Run
-			return out, fmt.Errorf("engine: %s at x=%d: %w", r.Line, r.X, out[i].Err)
-		}
-	}
-	return out, nil
+	return out
 }

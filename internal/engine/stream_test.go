@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"drhwsched/internal/platform"
+	"drhwsched/internal/sim"
+)
+
+// TestStreamDeliversEveryCell pins the streaming contract under a live
+// context: every cell arrives exactly once (in whatever completion
+// order), carrying its input index, and matches what Batch computes.
+func TestStreamDeliversEveryCell(t *testing.T) {
+	mix := testMix(t)
+	runs := testGrid(t, mix)
+	e := New(Config{Workers: 4})
+
+	got := make([]*RunResult, len(runs))
+	for rr := range e.Stream(context.Background(), runs) {
+		if rr.Index < 0 || rr.Index >= len(runs) {
+			t.Fatalf("index %d out of range", rr.Index)
+		}
+		if got[rr.Index] != nil {
+			t.Fatalf("cell %d delivered twice", rr.Index)
+		}
+		c := rr
+		got[rr.Index] = &c
+	}
+	serial, err := New(Config{Workers: 1}).Batch(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range runs {
+		if got[i] == nil {
+			t.Fatalf("cell %d never delivered", i)
+		}
+		if got[i].Err != nil {
+			t.Fatalf("cell %d: %v", i, got[i].Err)
+		}
+		if got[i].Result.OverheadPct != serial[i].Result.OverheadPct {
+			t.Fatalf("cell %d diverges from serial batch: %v vs %v",
+				i, got[i].Result.OverheadPct, serial[i].Result.OverheadPct)
+		}
+	}
+}
+
+// TestBatchContextPreCanceled: a context canceled before the call means
+// no cell runs; every result carries the cancellation error.
+func TestBatchContextPreCanceled(t *testing.T) {
+	mix := testMix(t)
+	runs := testGrid(t, mix)
+	e := New(Config{Workers: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := e.BatchContext(ctx, runs)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != len(runs) {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	for i := range out {
+		if out[i].Err == nil || !errors.Is(out[i].Err, context.Canceled) {
+			t.Fatalf("cell %d: err = %v", i, out[i].Err)
+		}
+	}
+}
+
+// TestStreamCancelMidway: canceling after the first delivery closes
+// the channel promptly without delivering the whole grid, and in-flight
+// simulations abort through sim.Options.Context instead of running to
+// completion.
+func TestStreamCancelMidway(t *testing.T) {
+	mix := testMix(t)
+	var runs []Run
+	for i := 0; i < 64; i++ {
+		runs = append(runs, Run{
+			X: i, Line: "hybrid", Mix: mix, Platform: platform.Default(4),
+			Options: sim.Options{Approach: sim.Hybrid, Iterations: 2000, Seed: int64(i)},
+		})
+	}
+	e := New(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := e.Stream(ctx, runs)
+
+	delivered := 0
+	if _, ok := <-ch; ok {
+		delivered++
+	}
+	cancel()
+	closed := make(chan int)
+	go func() {
+		n := 0
+		for range ch {
+			n++
+		}
+		closed <- n
+	}()
+	select {
+	case n := <-closed:
+		delivered += n
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not close after cancel")
+	}
+	if delivered >= len(runs) {
+		t.Fatalf("delivered all %d cells despite cancellation", delivered)
+	}
+}
+
+// TestSimulateContextCancellation: the context reaches the simulator,
+// which gives up at an iteration boundary.
+func TestSimulateContextCancellation(t *testing.T) {
+	mix := testMix(t)
+	e := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.SimulateContext(ctx, mix, platform.Default(4),
+		sim.Options{Approach: sim.Hybrid, Iterations: 1000, Seed: 1})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSimulateContextDoesNotAlterResults: a run that completes under a
+// context is identical to one without.
+func TestSimulateContextDoesNotAlterResults(t *testing.T) {
+	mix := testMix(t)
+	opt := sim.Options{Approach: sim.Hybrid, Iterations: 60, Seed: 3}
+	plain, err := New(Config{}).Simulate(mix, platform.Default(4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	under, err := New(Config{}).SimulateContext(ctx, mix, platform.Default(4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.OverheadPct != under.OverheadPct || plain.Loads != under.Loads ||
+		plain.ActualTotal != under.ActualTotal {
+		t.Fatalf("results diverge: %+v vs %+v", plain, under)
+	}
+}

@@ -1,0 +1,392 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/core"
+	"drhwsched/internal/engine"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/sim"
+	"drhwsched/internal/workload"
+)
+
+// The request wire format is the workload JSON schema of
+// internal/workload (tasks + optional platform and sim blocks); see the
+// schema comment in internal/workload/json.go. Responses are defined
+// here.
+
+// CacheWire snapshots the engine-wide analysis cache in responses and
+// sweep summaries. The counters cover the whole engine lifetime — the
+// cache is shared across requests, which is the point of the service.
+type CacheWire struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func cacheWire(st engine.CacheStats) CacheWire {
+	return CacheWire{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		HitRate:   st.HitRate(),
+	}
+}
+
+// AnalyzeResponse is the /v1/analyze reply: one design-time analysis
+// per scenario graph of every task in the document.
+type AnalyzeResponse struct {
+	Name     string        `json:"name"`
+	Platform string        `json:"platform"`
+	Tasks    []AnalyzeTask `json:"tasks"`
+	Cache    CacheWire     `json:"cache"`
+}
+
+// AnalyzeTask groups the per-scenario analyses of one dynamic task.
+type AnalyzeTask struct {
+	Name      string            `json:"name"`
+	Scenarios []AnalyzeScenario `json:"scenarios"`
+}
+
+// AnalyzeScenario is the stored design-time artifact of one scenario
+// graph plus its cold-start evaluation.
+type AnalyzeScenario struct {
+	Name     string `json:"name"`
+	Subtasks int    `json:"subtasks"`
+	// Critical is the minimal Critical-Subtask set in stored
+	// (initialization-phase) load order; CriticalPct its share of the
+	// hardware subtasks.
+	Critical    []string `json:"critical"`
+	CriticalPct float64  `json:"critical_pct"`
+	// BodyOrder is the optimal port order of the non-critical loads —
+	// together with Critical, the whole stored design-time schedule.
+	BodyOrder []string `json:"body_order"`
+	// Iterations is how many Figure-4 refinement rounds the analysis
+	// took.
+	Iterations int `json:"iterations"`
+	// Cold-start evaluation: executing this schedule on an empty
+	// platform.
+	IdealMS     float64 `json:"ideal_ms"`
+	OverheadMS  float64 `json:"overhead_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// readRun decodes and bounds-checks a workload document request body.
+func (s *Server) readRun(r *http.Request) (*workload.RunSpec, error) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err // MaxBytesError maps to 413 in instrument
+	}
+	spec, err := workload.ParseRun(data)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if n := spec.Subtasks(); n > s.cfg.MaxSubtasks {
+		return nil, tooLarge("document has %d subtasks, limit is %d", n, s.cfg.MaxSubtasks)
+	}
+	return spec, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) error {
+	spec, err := s.readRun(r)
+	if err != nil {
+		return err
+	}
+	resp := AnalyzeResponse{Name: spec.Name, Platform: spec.Platform.String()}
+	for _, m := range spec.Mix {
+		at := AnalyzeTask{Name: m.Task.Name}
+		for _, g := range m.Task.Scenarios {
+			if err := r.Context().Err(); err != nil {
+				return err
+			}
+			sched, err := assign.List(g, spec.Platform, assign.Options{Placement: assign.Spread})
+			if err != nil {
+				return badRequest("scheduling %q: %v", g.Name, err)
+			}
+			a, err := s.eng.Analyze(sched, spec.Platform, core.Options{})
+			if err != nil {
+				return badRequest("analyzing %q: %v", g.Name, err)
+			}
+			run, err := a.Execute(core.RunBounds{}, nil)
+			if err != nil {
+				return fmt.Errorf("evaluating %q: %w", g.Name, err)
+			}
+			sc := AnalyzeScenario{
+				Name:        g.Name,
+				Subtasks:    g.Len(),
+				Critical:    subtaskNames(g, a.CS),
+				CriticalPct: 100 * a.CriticalFraction(),
+				BodyOrder:   subtaskNames(g, a.BodyOrder),
+				Iterations:  a.Iterations,
+				IdealMS:     run.Ideal.Milliseconds(),
+				OverheadMS:  run.Overhead.Milliseconds(),
+			}
+			if run.Ideal > 0 {
+				sc.OverheadPct = 100 * float64(run.Overhead) / float64(run.Ideal)
+			}
+			at.Scenarios = append(at.Scenarios, sc)
+		}
+		resp.Tasks = append(resp.Tasks, at)
+	}
+	resp.Cache = cacheWire(s.eng.CacheStats())
+	return writeJSON(w, resp)
+}
+
+func subtaskNames(g *graph.Graph, ids []graph.SubtaskID) []string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = g.Subtask(id).Name
+	}
+	return names
+}
+
+// SimulateResponse is the /v1/simulate reply: the full simulation
+// aggregate in wire units (milliseconds, percentages, millijoules).
+type SimulateResponse struct {
+	Name       string `json:"name"`
+	Approach   string `json:"approach"`
+	Platform   string `json:"platform"`
+	Tiles      int    `json:"tiles"`
+	Iterations int    `json:"iterations"`
+
+	IdealMS     float64 `json:"ideal_ms"`
+	ActualMS    float64 `json:"actual_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+
+	Instances  int     `json:"instances"`
+	Subtasks   int     `json:"subtasks"`
+	Loads      int     `json:"loads"`
+	InitLoads  int     `json:"init_loads"`
+	Reuses     int     `json:"reuses"`
+	Cancelled  int     `json:"cancelled"`
+	SavedLoads int     `json:"saved_loads"`
+	ReusePct   float64 `json:"reuse_pct"`
+
+	LoadEnergyMJ   float64 `json:"load_energy_mj"`
+	CriticalPct    float64 `json:"critical_pct,omitempty"`
+	SchedCostMS    float64 `json:"sched_cost_ms,omitempty"`
+	DeadlineMisses int     `json:"deadline_misses,omitempty"`
+	PointEnergyMJ  float64 `json:"point_energy_mj,omitempty"`
+
+	// Per-run analysis-cache traffic (this request only) and the
+	// engine-wide snapshot.
+	CacheHits   int       `json:"cache_hits"`
+	CacheMisses int       `json:"cache_misses"`
+	Cache       CacheWire `json:"cache"`
+}
+
+func simulateResponse(name string, pstr string, res *sim.Result) SimulateResponse {
+	return SimulateResponse{
+		Name:           name,
+		Approach:       res.Approach.String(),
+		Platform:       pstr,
+		Tiles:          res.Tiles,
+		Iterations:     res.Iterations,
+		IdealMS:        res.IdealTotal.Milliseconds(),
+		ActualMS:       res.ActualTotal.Milliseconds(),
+		OverheadPct:    res.OverheadPct,
+		Instances:      res.Instances,
+		Subtasks:       res.Subtasks,
+		Loads:          res.Loads,
+		InitLoads:      res.InitLoads,
+		Reuses:         res.Reuses,
+		Cancelled:      res.Cancelled,
+		SavedLoads:     res.SavedLoads,
+		ReusePct:       res.ReusePct,
+		LoadEnergyMJ:   res.LoadEnergy,
+		CriticalPct:    res.CriticalPct,
+		SchedCostMS:    res.SchedCost.Milliseconds(),
+		DeadlineMisses: res.DeadlineMisses,
+		PointEnergyMJ:  res.PointEnergy,
+		CacheHits:      res.CacheHits,
+		CacheMisses:    res.CacheMisses,
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	spec, err := s.readRun(r)
+	if err != nil {
+		return err
+	}
+	res, err := s.eng.SimulateContext(r.Context(), spec.Mix, spec.Platform, spec.Options)
+	if err != nil {
+		if ctxErr := r.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return badRequest("%v", err)
+	}
+	resp := simulateResponse(spec.Name, spec.Platform.String(), res)
+	resp.Cache = cacheWire(s.eng.CacheStats())
+	return writeJSON(w, resp)
+}
+
+// SweepRequest is the /v1/sweep body: a base workload document plus the
+// grid to span. Every cell is the base run with one knob swept (Param ×
+// Values) per approach line.
+type SweepRequest struct {
+	// Workload is a full workload document (tasks + optional platform
+	// and sim blocks) serving as the base run of every cell.
+	Workload json.RawMessage `json:"workload"`
+	// Param is the swept knob: "tiles" (default) or "seed".
+	Param string `json:"param,omitempty"`
+	// Values are the swept x values (tile counts or seeds).
+	Values []int `json:"values"`
+	// Approaches are the series lines; empty means all five.
+	Approaches []string `json:"approaches,omitempty"`
+}
+
+// SweepCell is one NDJSON line of the /v1/sweep stream, emitted the
+// moment the cell's simulation completes (completion order, not grid
+// order — X and Line identify the cell).
+type SweepCell struct {
+	X           int     `json:"x"`
+	Line        string  `json:"line"`
+	OverheadPct float64 `json:"overhead_pct"`
+	IdealMS     float64 `json:"ideal_ms"`
+	ActualMS    float64 `json:"actual_ms"`
+	ReusePct    float64 `json:"reuse_pct"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// SweepSummary terminates a complete stream. A client that never sees
+// a summary line knows its sweep was cut short.
+type SweepSummary struct {
+	Done      bool      `json:"done"`
+	Cells     int       `json:"cells"`
+	Delivered int       `json:"delivered"`
+	Errors    int       `json:"errors"`
+	Cache     CacheWire `json:"cache"`
+}
+
+var allApproaches = []string{"no-prefetch", "design-time", "run-time", "run-time+inter-task", "hybrid"}
+
+// sweepGrid expands a sweep request into engine runs.
+func (s *Server) sweepGrid(req *SweepRequest) ([]engine.Run, error) {
+	if len(req.Workload) == 0 {
+		return nil, badRequest("sweep: missing workload document")
+	}
+	spec, err := workload.ParseRun(req.Workload)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if n := spec.Subtasks(); n > s.cfg.MaxSubtasks {
+		return nil, tooLarge("document has %d subtasks, limit is %d", n, s.cfg.MaxSubtasks)
+	}
+	if len(req.Values) == 0 {
+		return nil, badRequest("sweep: no values to sweep")
+	}
+	if req.Param != "" && req.Param != "tiles" && req.Param != "seed" {
+		return nil, badRequest("sweep: unknown param %q (tiles|seed)", req.Param)
+	}
+	lines := req.Approaches
+	if len(lines) == 0 {
+		lines = allApproaches
+	}
+	if cells := len(req.Values) * len(lines); cells > s.cfg.MaxSweepCells {
+		return nil, tooLarge("sweep grid has %d cells, limit is %d", cells, s.cfg.MaxSweepCells)
+	}
+	var runs []engine.Run
+	for _, x := range req.Values {
+		p := spec.Platform
+		opt := spec.Options
+		switch req.Param {
+		case "seed":
+			opt.Seed = int64(x)
+		default: // tiles
+			if x < 1 {
+				return nil, badRequest("sweep: tile count %d out of range", x)
+			}
+			p.Tiles = x
+		}
+		for _, line := range lines {
+			ap, err := workload.ParseApproach(line)
+			if err != nil {
+				return nil, badRequest("%v", err)
+			}
+			o := opt
+			o.Approach = ap
+			// Cells run concurrently, so each needs its own policy
+			// value: a stateful policy (random's *rand.Rand) shared
+			// across workers would race.
+			o.Policy, o.Lookahead, err = workload.ParsePolicy(spec.PolicyName, o.Seed)
+			if err != nil {
+				return nil, badRequest("%v", err)
+			}
+			runs = append(runs, engine.Run{X: x, Line: line, Mix: spec.Mix, Platform: p, Options: o})
+		}
+	}
+	return runs, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err
+	}
+	var req SweepRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return badRequest("sweep: parsing request: %v", err)
+	}
+	runs, err := s.sweepGrid(&req)
+	if err != nil {
+		return err
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	flush() // commit the headers before the first (possibly slow) cell
+
+	ctx := r.Context()
+	delivered, failed := 0, 0
+	for rr := range s.eng.Stream(ctx, runs) {
+		cell := SweepCell{X: rr.Run.X, Line: rr.Run.Line}
+		if rr.Err != nil {
+			failed++
+			cell.Error = rr.Err.Error()
+		} else {
+			cell.OverheadPct = rr.Result.OverheadPct
+			cell.IdealMS = rr.Result.IdealTotal.Milliseconds()
+			cell.ActualMS = rr.Result.ActualTotal.Milliseconds()
+			cell.ReusePct = rr.Result.ReusePct
+			cell.CacheHits = rr.Result.CacheHits
+			cell.CacheMisses = rr.Result.CacheMisses
+		}
+		if err := enc.Encode(cell); err != nil {
+			// Client gone. Returning ends the request, which cancels
+			// ctx and unwinds the engine stream's workers.
+			return fmt.Errorf("sweep: writing cell: %w", err)
+		}
+		delivered++
+		flush()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	sum := SweepSummary{
+		Done:      true,
+		Cells:     len(runs),
+		Delivered: delivered,
+		Errors:    failed,
+		Cache:     cacheWire(s.eng.CacheStats()),
+	}
+	if err := enc.Encode(sum); err != nil {
+		return fmt.Errorf("sweep: writing summary: %w", err)
+	}
+	flush()
+	return nil
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"drhwsched/internal/engine"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Analyses
+// return in microseconds-to-milliseconds; full simulations and sweeps
+// run for seconds, hence the wide spread.
+var latencyBuckets = [...]float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram. The counts array has
+// one slot per bucket plus a final +Inf slot; being an array, a struct
+// copy under the metrics lock is a consistent snapshot.
+type histogram struct {
+	counts [len(latencyBuckets) + 1]int64
+	sum    float64
+	total  int64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets[:], seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// metrics aggregates per-endpoint request counts (by status code) and
+// latency histograms. All methods are safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	started  time.Time
+	requests map[string]map[int]int64
+	latency  map[string]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		started:  time.Now(),
+		requests: map[string]map[int]int64{},
+		latency:  map[string]*histogram{},
+	}
+}
+
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = map[int]int64{}
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.latency[endpoint] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// render writes the Prometheus text format: request counters, latency
+// histograms, in-flight gauge, and the engine's cache counters. The
+// text is built under the lock into a buffer, then written, so a slow
+// reader never stalls request recording.
+func (m *metrics) render(w io.Writer, eng *engine.Engine, inflight int) {
+	var buf bytes.Buffer
+
+	m.mu.Lock()
+	fmt.Fprintf(&buf, "# TYPE drhwd_uptime_seconds gauge\n")
+	fmt.Fprintf(&buf, "drhwd_uptime_seconds %g\n", time.Since(m.started).Seconds())
+	fmt.Fprintf(&buf, "# TYPE drhwd_inflight_requests gauge\n")
+	fmt.Fprintf(&buf, "drhwd_inflight_requests %d\n", inflight)
+
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+
+	fmt.Fprintf(&buf, "# TYPE drhwd_requests_total counter\n")
+	for _, ep := range endpoints {
+		byCode := m.requests[ep]
+		codes := make([]int, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&buf, "drhwd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, byCode[c])
+		}
+	}
+	fmt.Fprintf(&buf, "# TYPE drhwd_request_duration_seconds histogram\n")
+	for _, ep := range endpoints {
+		h := m.latency[ep]
+		var cum int64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(&buf, "drhwd_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, le, cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(&buf, "drhwd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(&buf, "drhwd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(&buf, "drhwd_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+	m.mu.Unlock()
+
+	st := eng.CacheStats()
+	fmt.Fprintf(&buf, "# TYPE drhwd_engine_cache_hits_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_engine_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(&buf, "# TYPE drhwd_engine_cache_misses_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_engine_cache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(&buf, "# TYPE drhwd_engine_cache_evictions_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_engine_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(&buf, "# TYPE drhwd_engine_cache_entries gauge\n")
+	fmt.Fprintf(&buf, "drhwd_engine_cache_entries %d\n", st.Entries)
+	fmt.Fprintf(&buf, "# TYPE drhwd_engine_workers gauge\n")
+	fmt.Fprintf(&buf, "drhwd_engine_workers %d\n", eng.Workers())
+
+	w.Write(buf.Bytes())
+}

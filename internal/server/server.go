@@ -1,0 +1,335 @@
+// Package server is the scheduling-as-a-service layer: a long-running
+// HTTP/JSON daemon (cmd/drhwd) over the experiment engine.
+//
+// The paper's asymmetry — an expensive design-time analysis computed
+// once, an O(N) run-time phase replayed per task arrival — is exactly
+// the shape of a request/response service, and the engine already
+// memoizes the expensive half in a single-flight LRU cache. The server
+// owns one shared Engine, so concurrent clients analyzing or simulating
+// the same workloads hit each other's cached analyses; this mirrors how
+// run-time reconfiguration managers run as resident services in online
+// hardware-multitasking systems.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   workload document → per-scenario Critical-Subtask
+//	                   set, stored design-time schedule, cold-start
+//	                   overhead
+//	POST /v1/simulate  workload document (with platform + sim blocks) →
+//	                   full simulation aggregate
+//	POST /v1/sweep     grid spec → NDJSON stream of per-cell results in
+//	                   completion order, then a summary line
+//	GET  /healthz      liveness
+//	GET  /metrics      request counts, latency histograms, engine cache
+//	                   counters (Prometheus text format)
+//
+// Admission control is two-tier: a bounded in-flight slot pool (429
+// Too Many Requests when exhausted — load-shedding, not queueing) and a
+// per-document subtask bound plus request-body byte bound (413 when
+// exceeded). Every admitted request runs under a deadline whose context
+// is threaded through the engine into the simulator, so an abandoned or
+// over-budget request stops consuming workers at its next iteration
+// boundary. Shutdown drains: the listener closes immediately, in-flight
+// requests get DrainTimeout to finish, then their contexts are
+// canceled.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"drhwsched/internal/engine"
+)
+
+// Config sizes the service. The zero value is fully usable.
+type Config struct {
+	// Engine is the shared analysis-caching engine; nil means a fresh
+	// engine.New(engine.Config{}) (GOMAXPROCS workers, 256-entry cache).
+	Engine *engine.Engine
+	// MaxInFlight bounds concurrently admitted requests (healthz and
+	// metrics are exempt); excess requests are refused with 429. Zero
+	// or negative means 2×GOMAXPROCS.
+	MaxInFlight int
+	// MaxSubtasks bounds the total subtask definitions across one
+	// document's scenario graphs; larger documents are refused with
+	// 413. Zero or negative means 4096.
+	MaxSubtasks int
+	// MaxSweepCells bounds the grid size of one sweep request (values ×
+	// approaches). Zero or negative means 1024.
+	MaxSweepCells int
+	// MaxBodyBytes bounds the request body; zero or negative means
+	// 1 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request deadline, threaded through the
+	// engine into the simulator. Zero or negative means 60 s.
+	RequestTimeout time.Duration
+	// DrainTimeout is how long Serve waits for in-flight requests on
+	// shutdown before canceling their contexts. Zero or negative means
+	// 10 s.
+	DrainTimeout time.Duration
+	// Logf receives lifecycle log lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSubtasks <= 0 {
+		c.MaxSubtasks = 4096
+	}
+	if c.MaxSweepCells <= 0 {
+		c.MaxSweepCells = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// Server is the HTTP scheduling service. It implements http.Handler,
+// so it can be mounted in tests (httptest.NewServer) or behind other
+// muxes; cmd/drhwd runs it via ListenAndServe.
+type Server struct {
+	cfg      Config
+	eng      *engine.Engine
+	mux      *http.ServeMux
+	metrics  *metrics
+	inflight chan struct{}
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	eng := cfg.Engine
+	if eng == nil {
+		eng = engine.New(engine.Config{})
+	}
+	s := &Server{
+		cfg:      cfg,
+		eng:      eng,
+		mux:      http.NewServeMux(),
+		metrics:  newMetrics(),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, false, s.handleHealthz))
+	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, false, s.handleMetrics))
+	s.mux.Handle("/v1/analyze", s.instrument("analyze", http.MethodPost, true, s.handleAnalyze))
+	s.mux.Handle("/v1/simulate", s.instrument("simulate", http.MethodPost, true, s.handleSimulate))
+	s.mux.Handle("/v1/sweep", s.instrument("sweep", http.MethodPost, true, s.handleSweep))
+	return s
+}
+
+// Engine exposes the server's shared engine (tests assert on its
+// CacheStats; embedders may pre-warm it).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// ServeHTTP dispatches to the server's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve runs the service on l until ctx is canceled, then drains:
+// in-flight requests get DrainTimeout to finish before their contexts
+// are canceled and the remaining connections are closed. Returns nil
+// after a clean drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	hs := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds the whole request read. Without it a
+		// client trickling its body one byte at a time would hold an
+		// admission slot indefinitely — io.ReadAll on the body is not
+		// context-aware, so the per-request deadline alone cannot
+		// reclaim the slot.
+		ReadTimeout: s.cfg.RequestTimeout + 5*time.Second,
+		BaseContext: func(net.Listener) context.Context { return base },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("drhwd: shutdown requested, draining for up to %v", s.cfg.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	if err != nil {
+		// Stragglers: cancel their request contexts (aborting any
+		// simulation at its next iteration) and close the connections.
+		cancelBase()
+		hs.Close()
+	}
+	<-errc // always http.ErrServerClosed after Shutdown/Close
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	s.logf("drhwd: drained")
+	return nil
+}
+
+// ListenAndServe binds addr (use host:0 for an ephemeral port — the
+// bound address is logged via Config.Logf) and serves until ctx is
+// canceled.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.logf("drhwd: listening on %s (inflight=%d, timeout=%v, workers=%d)",
+		l.Addr(), s.cfg.MaxInFlight, s.cfg.RequestTimeout, s.eng.Workers())
+	return s.Serve(ctx, l)
+}
+
+// httpErr carries a status code out of a handler.
+type httpErr struct {
+	code int
+	msg  string
+}
+
+func (e *httpErr) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpErr{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func tooLarge(format string, args ...any) error {
+	return &httpErr{code: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusWriter records the status code (and whether the header went
+// out) for metrics and late-error suppression, passing Flush through
+// for streaming responses.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument is the middleware stack shared by every route: method
+// check, admission control (slot pool + body bound), per-request
+// deadline, error mapping, and metrics recording.
+func (s *Server) instrument(endpoint, method string, admit bool, h func(http.ResponseWriter, *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		w := &statusWriter{ResponseWriter: rw, code: http.StatusOK}
+		defer func() {
+			s.metrics.observe(endpoint, w.code, time.Since(start))
+		}()
+
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", method))
+			return
+		}
+		if admit {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				// Load-shedding, not queueing: refuse immediately so
+				// the client can back off or retry elsewhere.
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Sprintf("server at capacity (%d requests in flight)", s.cfg.MaxInFlight))
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+
+		err := h(w, r)
+		if err == nil {
+			return
+		}
+		if w.wrote {
+			// Mid-stream failure: the status is already on the wire;
+			// the NDJSON summary line (or its absence) tells the
+			// client. Just log.
+			s.logf("drhwd: %s: late error: %v", endpoint, err)
+			return
+		}
+		var he *httpErr
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &he):
+			writeError(w, he.code, he.msg)
+		case errors.As(err, &mbe):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("request exceeded the %v deadline", s.cfg.RequestTimeout))
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing to write.
+			s.logf("drhwd: %s: canceled: %v", endpoint, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+	})
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	return writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, s.eng, len(s.inflight))
+	return nil
+}
+
+// writeJSON emits a 200 JSON body.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

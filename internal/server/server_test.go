@@ -1,0 +1,467 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// smallDoc is a three-subtask pipeline on four tiles — cheap enough
+// that every test request completes in milliseconds.
+const smallDoc = `{
+  "name": "pipe",
+  "platform": {"tiles": 4},
+  "tasks": [{
+    "name": "pipe",
+    "scenarios": [{
+      "subtasks": [
+        {"name": "a", "exec_ms": 10},
+        {"name": "b", "exec_ms": 12},
+        {"name": "c", "exec_ms": 8}
+      ],
+      "edges": [{"from": 0, "to": 1}, {"from": 1, "to": 2}]
+    }]
+  }]
+}`
+
+// simDoc pins the sim block so a /v1/simulate request is fully
+// specified and fast.
+const simDoc = `{
+  "name": "pipe",
+  "platform": {"tiles": 4},
+  "sim": {"approach": "hybrid", "iterations": 50, "seed": 1},
+  "tasks": [{
+    "name": "pipe",
+    "scenarios": [{
+      "subtasks": [
+        {"name": "a", "exec_ms": 10},
+        {"name": "b", "exec_ms": 12},
+        {"name": "c", "exec_ms": 8}
+      ],
+      "edges": [{"from": 0, "to": 1}, {"from": 1, "to": 2}]
+    }]
+  }]
+}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	return resp, sb.String()
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Fatalf("Allow = %q", allow)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/analyze", smallDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal([]byte(body), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Tasks) != 1 || len(ar.Tasks[0].Scenarios) != 1 {
+		t.Fatalf("shape = %+v", ar)
+	}
+	sc := ar.Tasks[0].Scenarios[0]
+	if sc.Subtasks != 3 {
+		t.Fatalf("subtasks = %d", sc.Subtasks)
+	}
+	// A chain on a cold platform always has at least one unhideable
+	// first load.
+	if len(sc.Critical) == 0 || sc.OverheadMS <= 0 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	if len(sc.Critical)+len(sc.BodyOrder) != sc.Subtasks {
+		t.Fatalf("schedule does not cover the graph: %+v", sc)
+	}
+	if st := s.Engine().CacheStats(); st.Misses != 1 {
+		t.Fatalf("cache misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestAnalyzeBadJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/analyze", `{"tasks": [`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "error") {
+		t.Fatalf("no error envelope: %s", body)
+	}
+}
+
+func TestAnalyzeInvalidGraph(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cyclic := `{"tasks":[{"name":"t","scenarios":[{"subtasks":[{"name":"a","exec_ms":1},{"name":"b","exec_ms":1}],"edges":[{"from":0,"to":1},{"from":1,"to":0}]}]}]}`
+	resp, body := post(t, ts.URL+"/v1/analyze", cyclic)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestAnalyzeOversizedDocument(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSubtasks: 2})
+	resp, body := post(t, ts.URL+"/v1/analyze", smallDoc) // 3 subtasks
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 16})
+	resp, body := post(t, ts.URL+"/v1/analyze", smallDoc)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/simulate", simDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Approach != "hybrid" || sr.Iterations != 50 || sr.Tiles != 4 {
+		t.Fatalf("result = %+v", sr)
+	}
+	if sr.Instances <= 0 || sr.IdealMS <= 0 {
+		t.Fatalf("empty aggregate: %+v", sr)
+	}
+	if sr.CacheHits+sr.CacheMisses == 0 {
+		t.Fatal("no per-run cache traffic reported")
+	}
+}
+
+func TestSimulateUnknownApproach(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := strings.Replace(simDoc, `"hybrid"`, `"psychic"`, 1)
+	resp, body := post(t, ts.URL+"/v1/simulate", doc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func sweepBody(values string, approaches string) string {
+	return fmt.Sprintf(`{"workload": %s, "param": "tiles", "values": %s, "approaches": %s}`,
+		simDoc, values, approaches)
+}
+
+func TestSweepStreamsNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(sweepBody(`[3, 4]`, `["hybrid", "run-time"]`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var cells []SweepCell
+	var summary *SweepSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var sum SweepSummary
+		if err := json.Unmarshal(line, &sum); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if sum.Done {
+			summary = &sum
+			continue
+		}
+		var cell SweepCell
+		if err := json.Unmarshal(line, &cell); err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, cell)
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a summary line")
+	}
+	if len(cells) != 4 || summary.Cells != 4 || summary.Delivered != 4 || summary.Errors != 0 {
+		t.Fatalf("cells = %d, summary = %+v", len(cells), summary)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c.Error != "" {
+			t.Fatalf("cell error: %+v", c)
+		}
+		seen[fmt.Sprintf("%d/%s", c.X, c.Line)] = true
+	}
+	for _, want := range []string{"3/hybrid", "3/run-time", "4/hybrid", "4/run-time"} {
+		if !seen[want] {
+			t.Fatalf("missing cell %s in %v", want, seen)
+		}
+	}
+}
+
+// TestSweepRandomPolicyNoRace: a stateful replacement policy (random's
+// *rand.Rand) must be resolved per grid cell, not shared across the
+// worker pool — under -race a shared generator fails here.
+func TestSweepRandomPolicyNoRace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := strings.Replace(simDoc, `"seed": 1`, `"seed": 1, "policy": "random"`, 1)
+	body := fmt.Sprintf(`{"workload": %s, "values": [3, 4, 5], "approaches": ["run-time", "hybrid"]}`, doc)
+	resp, out := post(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, out)
+	}
+	if !strings.Contains(out, `"done":true`) {
+		t.Fatalf("no summary line: %s", out)
+	}
+}
+
+func TestSweepBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepCells: 3})
+	cases := map[string]struct {
+		body string
+		code int
+	}{
+		"bad json":      {`{"workload": nope}`, http.StatusBadRequest},
+		"no workload":   {`{"values": [4]}`, http.StatusBadRequest},
+		"no values":     {sweepBody(`[]`, `["hybrid"]`), http.StatusBadRequest},
+		"bad param":     {fmt.Sprintf(`{"workload": %s, "param": "voltage", "values": [1]}`, simDoc), http.StatusBadRequest},
+		"bad approach":  {sweepBody(`[4]`, `["psychic"]`), http.StatusBadRequest},
+		"zero tiles":    {sweepBody(`[0]`, `["hybrid"]`), http.StatusBadRequest},
+		"grid too big":  {sweepBody(`[2, 3]`, `["hybrid", "run-time"]`), http.StatusRequestEntityTooLarge},
+		"default lines": {sweepBody(`[4]`, `null`), http.StatusRequestEntityTooLarge}, // 5 default approaches > 3 cells
+	}
+	for name, tc := range cases {
+		resp, body := post(t, ts.URL+"/v1/sweep", tc.body)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status = %d, want %d (%s)", name, resp.StatusCode, tc.code, body)
+		}
+	}
+}
+
+func TestSweepClientCancelMidStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// A grid big and slow enough that cancellation lands mid-stream.
+	body := fmt.Sprintf(`{"workload": %s, "values": [3,4,5,6,7,8,9,10,11,12]}`,
+		strings.Replace(simDoc, `"iterations": 50`, `"iterations": 3000`, 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no first line before cancel")
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The server must shrug the cancellation off and keep serving.
+	resp2, out := post(t, ts.URL+"/v1/analyze", smallDoc)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel analyze: status = %d: %s", resp2.StatusCode, out)
+	}
+	_ = s
+}
+
+func TestRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: 50 * time.Millisecond})
+	slow := strings.Replace(simDoc, `"iterations": 50`, `"iterations": 5000000`, 1)
+	resp, body := post(t, ts.URL+"/v1/simulate", slow)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 2})
+	// Fill both slots so the next admitted-path request is shed.
+	s.inflight <- struct{}{}
+	s.inflight <- struct{}{}
+	resp, body := post(t, ts.URL+"/v1/analyze", smallDoc)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// healthz and metrics bypass admission.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under load: %d", hresp.StatusCode)
+	}
+	<-s.inflight
+	<-s.inflight
+	resp2, body2 := post(t, ts.URL+"/v1/analyze", smallDoc)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d: %s", resp2.StatusCode, body2)
+	}
+}
+
+// TestConcurrentAnalyzeSingleFlight is the acceptance criterion: two
+// concurrent identical analyze requests produce exactly one engine
+// cache miss — the second request waits on the first's in-flight
+// design-time computation instead of duplicating it.
+func TestConcurrentAnalyzeSingleFlight(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const clients = 2
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(smallDoc))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("client %d: status = %d", i, c)
+		}
+	}
+	st := s.Engine().CacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("cache misses = %d, want exactly 1 (single-flight)", st.Misses)
+	}
+	if st.Hits != clients-1 {
+		t.Fatalf("cache hits = %d, want %d", st.Hits, clients-1)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/analyze", smallDoc)
+	post(t, ts.URL+"/v1/analyze", `{"tasks": [`)
+	resp, body := func() (*http.Response, string) {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			sb.WriteString(sc.Text() + "\n")
+		}
+		return resp, sb.String()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`drhwd_requests_total{endpoint="analyze",code="200"} 1`,
+		`drhwd_requests_total{endpoint="analyze",code="400"} 1`,
+		`drhwd_request_duration_seconds_count{endpoint="analyze"} 2`,
+		"drhwd_engine_cache_misses_total 1",
+		"drhwd_inflight_requests 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestServeGracefulDrain exercises the lifecycle: Serve on an ephemeral
+// port, one request through, then context cancellation drains cleanly.
+func TestServeGracefulDrain(t *testing.T) {
+	s := New(Config{DrainTimeout: 2 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, l) }()
+
+	url := "http://" + l.Addr().String()
+	resp, err := http.Post(url+"/v1/analyze", "application/json", strings.NewReader(smallDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain")
+	}
+}

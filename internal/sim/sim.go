@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -111,6 +112,13 @@ type Options struct {
 	// Analyzer must return artifacts equivalent to core.Analyze's —
 	// the run's results do not depend on which one served them.
 	Analyzer AnalyzeFunc
+	// Context, when non-nil, cancels the run: it is checked between
+	// design-time preparations and between iterations, and the run
+	// returns the context's error. Cancellation never alters results —
+	// a run that completes is identical with or without a Context —
+	// which is how per-request deadlines of the drhwd service reach
+	// into long simulations.
+	Context context.Context
 }
 
 // AnalyzeFunc computes or retrieves the design-time analysis of a
@@ -235,6 +243,12 @@ func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
 	if analyze == nil {
 		analyze = core.Analyze
 	}
+	canceled := func() error {
+		if opt.Context == nil {
+			return nil
+		}
+		return opt.Context.Err()
+	}
 
 	// Design-time preparation.
 	prep := make([][]*scenPrep, len(mix))
@@ -258,6 +272,9 @@ func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("sim: TCM design time: %w", err)
 		}
 		for mi, m := range mix {
+			if err := canceled(); err != nil {
+				return nil, fmt.Errorf("sim: canceled during design-time preparation: %w", err)
+			}
 			prep[mi] = make([]*scenPrep, len(m.Task.Scenarios))
 			for si := range m.Task.Scenarios {
 				curve := ds.Curve(mi, si)
@@ -275,6 +292,9 @@ func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
 		}
 	} else {
 		for mi, m := range mix {
+			if err := canceled(); err != nil {
+				return nil, fmt.Errorf("sim: canceled during design-time preparation: %w", err)
+			}
 			prep[mi] = make([]*scenPrep, len(m.Task.Scenarios))
 			for si, g := range m.Task.Scenarios {
 				s, err := assign.List(g, p, assign.Options{Placement: assign.Spread})
@@ -306,6 +326,9 @@ func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
 		(opt.Approach == Hybrid && !opt.DisableInterTask)
 
 	for iter := 0; iter < opt.Iterations; iter++ {
+		if err := canceled(); err != nil {
+			return nil, fmt.Errorf("sim: canceled after %d of %d iterations: %w", iter, opt.Iterations, err)
+		}
 		// Draw this iteration's application set, order, and scenarios
 		// (the TCM run-time scheduler identifies the current scenario
 		// of every running task before selecting points).

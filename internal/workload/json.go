@@ -3,15 +3,20 @@ package workload
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/reconfig"
+	"drhwsched/internal/sim"
 	"drhwsched/internal/tcm"
 )
 
 // The JSON workload schema lets users simulate their own applications
-// with cmd/drhwsim without writing Go. Times are written in (possibly
-// fractional) milliseconds. A minimal document:
+// with cmd/drhwsim (and drive cmd/drhwd over HTTP) without writing Go.
+// Times are written in (possibly fractional) milliseconds. A minimal
+// document:
 //
 //	{
 //	  "name": "custom",
@@ -26,11 +31,51 @@ import (
 //	    }]
 //	  }]
 //	}
+//
+// Two optional top-level blocks make one document fully specify a run
+// (both are ignored by ParseMix, so pre-existing documents parse
+// unchanged):
+//
+//	"platform": {"tiles": 8, "load_ms": 4, "ports": 1, "isps": 1}
+//	"sim": {"approach": "hybrid", "iterations": 1000, "seed": 1,
+//	        "policy": "lru", "inclusion_prob": 0.8,
+//	        "scheduler_cost": false, "no_intertask": false,
+//	        "deadline_ms": 0}
+//
+// ParseRun decodes all three blocks at once; absent blocks default to
+// the paper's platform (8 tiles) and the hybrid approach. These blocks
+// are also the wire format of the drhwd scheduling service — a
+// /v1/simulate request body is exactly one such document.
 
 // MixDoc is the top-level JSON document.
 type MixDoc struct {
 	Name  string    `json:"name"`
 	Tasks []TaskDoc `json:"tasks"`
+	// Platform and Sim optionally pin the hardware description and the
+	// simulation options so the document fully specifies a run. Nil
+	// means "caller decides" (ParseRun substitutes defaults).
+	Platform *PlatformDoc `json:"platform,omitempty"`
+	Sim      *SimDoc      `json:"sim,omitempty"`
+}
+
+// PlatformDoc is the optional hardware block.
+type PlatformDoc struct {
+	Tiles  int     `json:"tiles"`
+	LoadMS float64 `json:"load_ms,omitempty"` // 0: the paper's 4 ms
+	Ports  int     `json:"ports,omitempty"`   // 0: one controller
+	ISPs   int     `json:"isps,omitempty"`
+}
+
+// SimDoc is the optional simulation-options block.
+type SimDoc struct {
+	Approach      string  `json:"approach,omitempty"` // "": hybrid
+	Iterations    int     `json:"iterations,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	Policy        string  `json:"policy,omitempty"` // replacement policy; "": lru
+	InclusionProb float64 `json:"inclusion_prob,omitempty"`
+	SchedulerCost bool    `json:"scheduler_cost,omitempty"`
+	NoInterTask   bool    `json:"no_intertask,omitempty"`
+	DeadlineMS    float64 `json:"deadline_ms,omitempty"`
 }
 
 // TaskDoc describes one dynamic task.
@@ -70,6 +115,12 @@ func ParseMix(data []byte) ([]*tcm.Task, [][]float64, error) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, nil, fmt.Errorf("workload: parsing mix: %w", err)
 	}
+	return doc.Mix()
+}
+
+// Mix validates the decoded document and builds its TCM tasks plus
+// per-task scenario weights (nil when uniform).
+func (doc *MixDoc) Mix() ([]*tcm.Task, [][]float64, error) {
 	if len(doc.Tasks) == 0 {
 		return nil, nil, fmt.Errorf("workload: mix %q has no tasks", doc.Name)
 	}
@@ -132,6 +183,14 @@ func ParseMix(data []byte) ([]*tcm.Task, [][]float64, error) {
 // into the JSON schema, so the built-in workloads can be dumped,
 // edited, and re-imported.
 func ExportMix(name string, tasks []*tcm.Task, weights [][]float64) ([]byte, error) {
+	doc := DocOf(name, tasks, weights)
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// DocOf builds the JSON document for tasks without marshalling it, so
+// callers can attach the optional platform and sim blocks before
+// encoding (the drhwd wire format and the drhwload corpus do).
+func DocOf(name string, tasks []*tcm.Task, weights [][]float64) MixDoc {
 	doc := MixDoc{Name: name}
 	for ti, task := range tasks {
 		td := TaskDoc{Name: task.Name}
@@ -156,5 +215,147 @@ func ExportMix(name string, tasks []*tcm.Task, weights [][]float64) ([]byte, err
 		}
 		doc.Tasks = append(doc.Tasks, td)
 	}
-	return json.MarshalIndent(doc, "", "  ")
+	return doc
+}
+
+// RunSpec is a fully-decoded run: the task mix plus the platform and
+// simulation options the document pinned (or their defaults).
+type RunSpec struct {
+	Name     string
+	Mix      []sim.TaskMix
+	Platform platform.Platform
+	Options  sim.Options
+	// PolicyName is the wire name behind Options.Policy ("" when the
+	// document pinned none). Callers deriving many concurrent runs from
+	// one spec re-resolve it per run with ParsePolicy — stateful
+	// policies (random) must not be shared across goroutines.
+	PolicyName string
+}
+
+// Subtasks counts the subtask definitions across the spec's scenario
+// graphs — the document "size" that services bound for admission
+// control.
+func (rs *RunSpec) Subtasks() int {
+	n := 0
+	for _, m := range rs.Mix {
+		for _, g := range m.Task.Scenarios {
+			n += g.Len()
+		}
+	}
+	return n
+}
+
+// ParseRun decodes a complete run from one document: the task mix (as
+// ParseMix) plus the optional platform and sim blocks. An absent
+// platform block defaults to the paper's 8-tile platform; an absent sim
+// block to the hybrid approach with the package defaults.
+func ParseRun(data []byte) (*RunSpec, error) {
+	var doc MixDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("workload: parsing run: %w", err)
+	}
+	tasks, weights, err := doc.Mix()
+	if err != nil {
+		return nil, err
+	}
+	spec := &RunSpec{Name: doc.Name}
+	if doc.Sim != nil {
+		spec.PolicyName = doc.Sim.Policy
+	}
+	for i, task := range tasks {
+		spec.Mix = append(spec.Mix, sim.TaskMix{Task: task, ScenarioWeights: weights[i]})
+	}
+	spec.Platform, err = doc.Platform.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	spec.Options, err = doc.Sim.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// Resolve materializes the platform block (nil: the paper's 8-tile
+// default) and validates it.
+func (pd *PlatformDoc) Resolve() (platform.Platform, error) {
+	p := platform.Default(8)
+	if pd != nil {
+		if pd.Tiles < 0 {
+			return p, fmt.Errorf("workload: platform block: negative tile count %d", pd.Tiles)
+		}
+		if pd.Tiles > 0 {
+			p = platform.Default(pd.Tiles)
+		}
+		if pd.LoadMS > 0 {
+			p.ReconfigLatency = model.MS(pd.LoadMS)
+		}
+		if pd.Ports > 0 {
+			p.Ports = pd.Ports
+		}
+		p.ISPs = pd.ISPs
+	}
+	if err := p.Validate(); err != nil {
+		return p, fmt.Errorf("workload: platform block: %w", err)
+	}
+	return p, nil
+}
+
+// Resolve materializes the sim block (nil: hybrid under the sim package
+// defaults).
+func (sd *SimDoc) Resolve() (sim.Options, error) {
+	opt := sim.Options{Approach: sim.Hybrid}
+	if sd == nil {
+		return opt, nil
+	}
+	var err error
+	if opt.Approach, err = ParseApproach(sd.Approach); err != nil {
+		return opt, err
+	}
+	if opt.Policy, opt.Lookahead, err = ParsePolicy(sd.Policy, sd.Seed); err != nil {
+		return opt, err
+	}
+	opt.Iterations = sd.Iterations
+	opt.Seed = sd.Seed
+	opt.InclusionProb = sd.InclusionProb
+	opt.SchedulerCost = sd.SchedulerCost
+	opt.DisableInterTask = sd.NoInterTask
+	opt.Deadline = model.MS(sd.DeadlineMS)
+	return opt, nil
+}
+
+// ParseApproach maps the wire name of a scheduling approach ("" means
+// hybrid). It accepts the sim.Approach String() names plus the
+// "design-time" shorthand the CLI uses.
+func ParseApproach(name string) (sim.Approach, error) {
+	switch name {
+	case "", "hybrid":
+		return sim.Hybrid, nil
+	case "no-prefetch":
+		return sim.NoPrefetch, nil
+	case "design-time", "design-time-prefetch":
+		return sim.DesignTimePrefetch, nil
+	case "run-time":
+		return sim.RunTime, nil
+	case "run-time+inter-task":
+		return sim.RunTimeInterTask, nil
+	}
+	return 0, fmt.Errorf("workload: unknown approach %q (no-prefetch|design-time|run-time|run-time+inter-task|hybrid)", name)
+}
+
+// ParsePolicy maps the wire name of a replacement policy ("" means
+// LRU) and reports whether the policy needs configuration-stream
+// lookahead. seed feeds the random policy.
+func ParsePolicy(name string, seed int64) (reconfig.Policy, bool, error) {
+	switch name {
+	case "", "lru":
+		return reconfig.LRU{}, false, nil
+	case "fifo":
+		return reconfig.FIFO{}, false, nil
+	case "belady":
+		return reconfig.Belady{}, true, nil
+	case "random":
+		return reconfig.Random{Rng: rand.New(rand.NewSource(seed))}, false, nil
+	}
+	return nil, false, fmt.Errorf("workload: unknown policy %q (lru|fifo|belady|random)", name)
 }

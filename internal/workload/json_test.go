@@ -1,11 +1,14 @@
 package workload
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
+	"drhwsched/internal/reconfig"
+	"drhwsched/internal/sim"
 )
 
 const sampleMix = `{
@@ -123,5 +126,100 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 	if backWeights[3] == nil {
 		t.Fatal("MPEG weights lost in round trip")
+	}
+}
+
+// TestParseRunDefaults: a document without platform/sim blocks (the
+// pre-extension schema) resolves to the paper's defaults, so old
+// documents keep meaning what they meant.
+func TestParseRunDefaults(t *testing.T) {
+	spec, err := ParseRun([]byte(sampleMix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Platform.Tiles != 8 || spec.Platform.Ports != 1 ||
+		spec.Platform.ReconfigLatency != 4*model.Millisecond {
+		t.Fatalf("platform = %+v", spec.Platform)
+	}
+	if spec.Options.Approach != sim.Hybrid || spec.Options.Iterations != 0 {
+		t.Fatalf("options = %+v", spec.Options)
+	}
+	if len(spec.Mix) != 1 || spec.Mix[0].ScenarioWeights[0] != 0.75 {
+		t.Fatalf("mix = %+v", spec.Mix)
+	}
+	if n := spec.Subtasks(); n != 6 {
+		t.Fatalf("Subtasks() = %d", n)
+	}
+}
+
+// TestRunDocGoldenRoundTrip is the golden test of the extended schema:
+// a document built with DocOf plus platform and sim blocks survives
+// marshal → ParseRun with every knob intact, and ParseMix still decodes
+// the same document (the blocks are invisible to it).
+func TestRunDocGoldenRoundTrip(t *testing.T) {
+	apps := Multimedia()
+	var weights [][]float64
+	for _, a := range apps {
+		weights = append(weights, a.ScenarioWeights)
+	}
+	doc := DocOf("multimedia", MultimediaTasks(), weights)
+	doc.Platform = &PlatformDoc{Tiles: 12, LoadMS: 2.5, Ports: 2, ISPs: 1}
+	doc.Sim = &SimDoc{
+		Approach:      "run-time+inter-task",
+		Iterations:    250,
+		Seed:          42,
+		Policy:        "belady",
+		InclusionProb: 0.6,
+		SchedulerCost: true,
+		NoInterTask:   true,
+		DeadlineMS:    120,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := ParseRun(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Platform
+	if p.Tiles != 12 || p.ReconfigLatency != model.MS(2.5) || p.Ports != 2 || p.ISPs != 1 {
+		t.Fatalf("platform = %+v", p)
+	}
+	o := spec.Options
+	if o.Approach != sim.RunTimeInterTask || o.Iterations != 250 || o.Seed != 42 {
+		t.Fatalf("options = %+v", o)
+	}
+	if _, ok := o.Policy.(reconfig.Belady); !ok || !o.Lookahead {
+		t.Fatalf("policy = %T lookahead = %v", o.Policy, o.Lookahead)
+	}
+	if o.InclusionProb != 0.6 || !o.SchedulerCost || !o.DisableInterTask || o.Deadline != model.MS(120) {
+		t.Fatalf("options = %+v", o)
+	}
+	if len(spec.Mix) != len(apps) {
+		t.Fatalf("mix = %d tasks", len(spec.Mix))
+	}
+	// The blocks are invisible to the mix-only parser.
+	tasks, w, err := ParseMix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != len(apps) || w[3] == nil {
+		t.Fatalf("ParseMix on extended doc: %d tasks", len(tasks))
+	}
+}
+
+func TestParseRunErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad approach":   `{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}],"sim":{"approach":"psychic"}}`,
+		"bad policy":     `{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}],"sim":{"policy":"crystal"}}`,
+		"negative tiles": `{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}],"platform":{"tiles":-3}}`,
+		"empty mix":      `{"tasks":[],"platform":{"tiles":4}}`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseRun([]byte(doc)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
 	}
 }

@@ -1,0 +1,38 @@
+#!/bin/sh
+# smoke.sh boots drhwd on an ephemeral port, drives it with drhwload
+# for a few seconds, and asserts a 100% 2xx rate and non-zero engine
+# cache hits. CI runs this; `make loadtest` runs it locally.
+set -eu
+
+DURATION="${SMOKE_DURATION:-4s}"
+RPS="${SMOKE_RPS:-25}"
+SERVER_PID=""
+TMP="$(mktemp -d)"
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "smoke: building drhwd and drhwload"
+go build -o "$TMP/drhwd" ./cmd/drhwd
+go build -o "$TMP/drhwload" ./cmd/drhwload
+
+"$TMP/drhwd" -addr 127.0.0.1:0 2>"$TMP/drhwd.log" &
+SERVER_PID=$!
+
+# The daemon logs "listening on HOST:PORT" once the listener is bound.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$TMP/drhwd.log" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "smoke: drhwd died:"; cat "$TMP/drhwd.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "smoke: drhwd never bound:"; cat "$TMP/drhwd.log"; exit 1; }
+echo "smoke: drhwd up on $ADDR"
+
+"$TMP/drhwload" -url "http://$ADDR" -duration "$DURATION" -rps "$RPS" \
+    -require-2xx 1.0 -require-cache-hits
+
+# Graceful drain on SIGTERM must exit cleanly.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "smoke: drhwd exited non-zero on SIGTERM"; cat "$TMP/drhwd.log"; exit 1; }
+echo "smoke: clean drain"
+echo "smoke: OK"
