@@ -13,7 +13,11 @@ test: ## run all tests with the race detector
 	$(GO) test -race ./...
 
 .PHONY: bench
-bench: ## run the full benchmark suite (regenerates the paper's numbers)
+bench: ## sim + engine benchmarks with -benchmem, emitting BENCH_sim.json
+	./scripts/bench.sh
+
+.PHONY: bench-all
+bench-all: ## run the full benchmark suite (regenerates the paper's numbers)
 	$(GO) test -run=^$$ -bench=. -benchmem ./...
 
 .PHONY: bench-sweep

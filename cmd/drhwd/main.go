@@ -9,7 +9,8 @@
 //	      [-max-inflight N] [-max-subtasks N] [-max-sweep-cells N]
 //	      [-timeout D] [-drain D]
 //
-// Endpoints: POST /v1/analyze, POST /v1/simulate, POST /v1/sweep
+// Endpoints: POST /v1/analyze, POST /v1/simulate (add
+// ?stream=iterations for per-iteration NDJSON), POST /v1/sweep
 // (streaming NDJSON), GET /healthz, GET /metrics. Request bodies are
 // workload JSON documents (see internal/workload's schema comment).
 //

@@ -6,7 +6,7 @@
 //	drhwsim [-workload multimedia|pocketgl] [-config file.json] [-export]
 //	        [-approach A] [-tiles N] [-isps N] [-iterations N] [-seed S]
 //	        [-policy lru|fifo|belady|random] [-schedcost] [-no-intertask]
-//	        [-deadline MS]
+//	        [-deadline MS] [-arrivals bernoulli|onoff|trace] [-trace file.json]
 //
 // Approaches: no-prefetch, design-time, run-time, run-time+inter-task,
 // hybrid (default).
@@ -15,9 +15,16 @@
 // internal/workload schema; -export prints the selected built-in
 // workload as such a document and exits, so built-ins can be dumped,
 // edited, and fed back in.
+//
+// -arrivals selects the workload arrival process: the paper's Bernoulli
+// draw (default), a bursty Markov-modulated on-off process, or
+// trace-driven replay. -trace names a JSON file holding the arrival log
+// (an array of iterations, each an array of task indices, e.g.
+// [[0,2],[1],[]]) and implies -arrivals trace.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +51,8 @@ func main() {
 		schedCost   = flag.Bool("schedcost", false, "model the run-time scheduler's own CPU cost")
 		noInterTask = flag.Bool("no-intertask", false, "disable the inter-task optimization (hybrid only)")
 		deadlineMS  = flag.Float64("deadline", 0, "per-iteration deadline in ms; >0 activates TCM energy-aware point selection")
+		arrivals    = flag.String("arrivals", "bernoulli", "arrival process: bernoulli|onoff|trace")
+		traceFile   = flag.String("trace", "", "JSON arrival log for -arrivals trace (array of iterations, each an array of task indices)")
 	)
 	flag.Parse()
 
@@ -102,6 +111,49 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *traceFile != "" {
+		// -trace implies -arrivals trace, but an explicit conflicting
+		// -arrivals means one of the two flags would be silently
+		// ignored — refuse instead of guessing.
+		arrivalsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "arrivals" {
+				arrivalsSet = true
+			}
+		})
+		if arrivalsSet && *arrivals != "trace" {
+			fmt.Fprintf(os.Stderr, "drhwsim: -trace conflicts with -arrivals %s\n", *arrivals)
+			os.Exit(2)
+		}
+		*arrivals = "trace"
+	}
+	var arr sim.Arrivals
+	switch *arrivals {
+	case "bernoulli":
+		// nil keeps the paper's default process.
+	case "onoff":
+		arr = sim.DefaultOnOff
+	case "trace":
+		if *traceFile == "" {
+			fmt.Fprintln(os.Stderr, "drhwsim: -arrivals trace needs -trace file.json")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
+			os.Exit(1)
+		}
+		var entries [][]int
+		if err := json.Unmarshal(data, &entries); err != nil {
+			fmt.Fprintf(os.Stderr, "drhwsim: parsing %s: %v\n", *traceFile, err)
+			os.Exit(1)
+		}
+		arr = sim.Trace{Iterations: entries}
+	default:
+		fmt.Fprintf(os.Stderr, "drhwsim: unknown arrival process %q (bernoulli|onoff|trace)\n", *arrivals)
+		os.Exit(2)
+	}
+
 	p := platform.Default(*tiles)
 	p.ISPs = *isps
 	eng := engine.New(engine.Config{})
@@ -111,6 +163,7 @@ func main() {
 		Seed:             *seed,
 		Policy:           pol,
 		Lookahead:        lookahead,
+		Arrivals:         arr,
 		SchedulerCost:    *schedCost,
 		DisableInterTask: *noInterTask,
 		Deadline:         model.MS(*deadlineMS),
@@ -130,6 +183,10 @@ func main() {
 	fmt.Printf("loads               %d (%d in initialization phases, %d cancelled, %d saved)\n",
 		r.Loads, r.InitLoads, r.Cancelled, r.SavedLoads)
 	fmt.Printf("reuse               %.1f%% of subtask instances\n", r.ReusePct)
+	fmt.Printf("iter makespan       p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+		r.IterMakespan.P50, r.IterMakespan.P95, r.IterMakespan.P99)
+	fmt.Printf("iter overhead       p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+		r.IterOverhead.P50, r.IterOverhead.P95, r.IterOverhead.P99)
 	fmt.Printf("reconfig energy     %.1f mJ\n", r.LoadEnergy)
 	if r.CriticalPct > 0 {
 		fmt.Printf("critical subtasks   %.0f%% (average across analyses)\n", r.CriticalPct)

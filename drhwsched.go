@@ -227,6 +227,26 @@ type (
 	TaskMix = sim.TaskMix
 	// Approach selects the scheduling flow under test.
 	Approach = sim.Approach
+
+	// Arrivals is the pluggable workload arrival process of the
+	// simulation kernel; ArrivalSource is its per-run stream.
+	Arrivals = sim.Arrivals
+	// ArrivalSource produces one iteration's arrivals at a time.
+	ArrivalSource = sim.ArrivalSource
+	// BernoulliArrivals is the paper's §7 default draw; OnOffArrivals a
+	// bursty Markov-modulated process; TraceArrivals replays a log.
+	BernoulliArrivals = sim.Bernoulli
+	// OnOffArrivals is the bursty Markov-modulated on-off process.
+	OnOffArrivals = sim.OnOff
+	// TraceArrivals replays a recorded arrival log.
+	TraceArrivals = sim.Trace
+	// IterationRecord is the kernel's per-iteration observation;
+	// SimObserver receives one per iteration.
+	IterationRecord = sim.IterationRecord
+	// SimObserver receives per-iteration records during a run.
+	SimObserver = sim.Observer
+	// TailSummary holds streaming P50/P95/P99 estimates (milliseconds).
+	TailSummary = sim.Tail
 )
 
 // The five simulated scheduling flows of the paper's §7.

@@ -19,7 +19,6 @@ package assign
 
 import (
 	"fmt"
-	"sort"
 
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
@@ -211,7 +210,21 @@ func (s *Schedule) LoadsNeeded(resident map[graph.SubtaskID]bool) []bool {
 // the engine's validation matches the decision set; callers remap
 // virtual tiles to physical ones separately (see the reconfig package).
 func (s *Schedule) EngineInput(p platform.Platform, portOrder []graph.SubtaskID) schedule.Input {
-	need := make([]bool, s.G.Len())
+	return s.EngineInputNeed(p, portOrder, nil)
+}
+
+// EngineInputNeed is EngineInput with a caller-owned NeedLoad buffer
+// (reset and refilled; nil allocates a fresh one), so evaluation loops
+// re-building inputs per candidate do not allocate. need must have
+// length G.Len() when non-nil.
+func (s *Schedule) EngineInputNeed(p platform.Platform, portOrder []graph.SubtaskID, need []bool) schedule.Input {
+	if need == nil {
+		need = make([]bool, s.G.Len())
+	} else {
+		for i := range need {
+			need[i] = false
+		}
+	}
 	for _, id := range portOrder {
 		need[id] = true
 	}
@@ -246,8 +259,12 @@ func (s *Schedule) AllLoads() []graph.SubtaskID {
 // issue order for prefetching: load what executes first, prefer the more
 // critical subtask when two start together.
 func (s *Schedule) SortByIdealStart(ids []graph.SubtaskID) {
-	sort.SliceStable(ids, func(a, b int) bool {
-		ia, ib := ids[a], ids[b]
+	// Stable insertion sort: subtask counts are small and the simulator
+	// sorts load sets on every instance, so avoiding sort.SliceStable's
+	// reflection allocations matters more than asymptotics. before is
+	// the same strict-weak order the previous SliceStable call used, so
+	// the resulting (stable) order is identical.
+	before := func(ia, ib graph.SubtaskID) bool {
 		if s.IdealStart[ia] != s.IdealStart[ib] {
 			return s.IdealStart[ia] < s.IdealStart[ib]
 		}
@@ -255,5 +272,10 @@ func (s *Schedule) SortByIdealStart(ids []graph.SubtaskID) {
 			return s.Weights[ia] > s.Weights[ib]
 		}
 		return ia < ib
-	})
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && before(ids[j], ids[j-1]); j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
 }

@@ -227,20 +227,7 @@ type InstancePlan struct {
 // reports whether a subtask's configuration is already on its tile.
 func (a *Analysis) Plan(resident func(graph.SubtaskID) bool) InstancePlan {
 	var p InstancePlan
-	for _, id := range a.CS {
-		if resident != nil && resident(id) {
-			p.ReusedCritical = append(p.ReusedCritical, id)
-		} else {
-			p.InitLoads = append(p.InitLoads, id)
-		}
-	}
-	for _, id := range a.BodyOrder {
-		if resident != nil && resident(id) {
-			p.Cancelled = append(p.Cancelled, id)
-		} else {
-			p.BodyLoads = append(p.BodyLoads, id)
-		}
-	}
+	a.planInto(&p, resident)
 	return p
 }
 
@@ -297,58 +284,7 @@ type RunResult struct {
 // the cancelled loads removed. resident reports configuration residency
 // per subtask (from the reuse module).
 func (a *Analysis) Execute(rb RunBounds, resident func(graph.SubtaskID) bool) (*RunResult, error) {
-	plan := a.Plan(resident)
-	r := &RunResult{Plan: plan}
-
-	// Initialization phase: serialized loads in stored order. Each
-	// waits for the circuitry and for its target tile to drain.
-	cur := rb.PortFree
-	tileFree := make([]model.Time, len(a.Sched.TileOrder))
-	if rb.TileFree != nil {
-		copy(tileFree, rb.TileFree)
-	}
-	r.InitEnd = cur
-	for _, id := range plan.InitLoads {
-		t := a.Sched.Assignment[id]
-		start := model.MaxT(cur, tileFree[t])
-		lat := a.P.LoadLatency(a.Sched.G.Subtask(id).Load)
-		end := start.Add(lat)
-		r.InitWindows = append(r.InitWindows, LoadWindow{id, start, end})
-		tileFree[t] = end
-		cur = end
-		r.InitEnd = end
-	}
-	r.BodyStart = model.MaxT(rb.TaskStart, r.InitEnd)
-
-	// Body: the design-time schedule with reused loads cancelled. The
-	// critical subtasks are resident by construction now.
-	in := a.Sched.EngineInput(a.P, plan.BodyLoads)
-	in.ExecFloor = r.BodyStart
-	in.LoadFloor = model.MaxT(rb.PortFree, r.InitEnd)
-	in.TileFree = tileFree
-	tl, err := schedule.Compute(in)
-	if err != nil {
-		return nil, fmt.Errorf("core: body schedule: %w", err)
-	}
-	r.Timeline = tl
-
-	// Ideal reference: same decisions, no loads, starting at TaskStart
-	// with the tiles as the previous task left them.
-	ideal := schedule.Ideal(in)
-	ideal.ExecFloor = rb.TaskStart
-	if rb.TileFree != nil {
-		ideal.TileFree = rb.TileFree
-	} else {
-		ideal.TileFree = nil
-	}
-	idealTL, err := schedule.Compute(ideal)
-	if err != nil {
-		return nil, fmt.Errorf("core: ideal reference: %w", err)
-	}
-
-	r.Makespan = tl.End.Sub(rb.TaskStart)
-	r.Ideal = idealTL.End.Sub(rb.TaskStart)
-	r.Overhead = r.Makespan - r.Ideal
-	r.PortFreeAfter = model.MaxT(r.InitEnd, tl.LastLoadEnd)
-	return r, nil
+	// A fresh scratch per call keeps the returned result unaliased;
+	// hot loops reuse the buffers via ExecuteScratch.
+	return a.ExecuteScratch(rb, resident, new(ExecScratch))
 }

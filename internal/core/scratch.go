@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/schedule"
+)
+
+// ExecScratch holds the buffers one hybrid run-time evaluation needs,
+// so the simulator replays stored schedules without allocating. The
+// RunResult returned by ExecuteScratch — its plan slices, init windows
+// and Timeline included — is owned by the scratch and valid until the
+// next ExecuteScratch call on it. The zero value is ready to use; an
+// ExecScratch must not be shared between goroutines.
+type ExecScratch struct {
+	body      schedule.Scratch
+	ideal     schedule.Scratch
+	need      []bool
+	idealNeed []bool
+	tileFree  []model.Time
+	res       RunResult
+}
+
+// planInto is Plan writing into a caller-owned InstancePlan whose
+// slices are reset and reused.
+func (a *Analysis) planInto(p *InstancePlan, resident func(graph.SubtaskID) bool) {
+	p.InitLoads = p.InitLoads[:0]
+	p.BodyLoads = p.BodyLoads[:0]
+	p.Cancelled = p.Cancelled[:0]
+	p.ReusedCritical = p.ReusedCritical[:0]
+	for _, id := range a.CS {
+		if resident != nil && resident(id) {
+			p.ReusedCritical = append(p.ReusedCritical, id)
+		} else {
+			p.InitLoads = append(p.InitLoads, id)
+		}
+	}
+	for _, id := range a.BodyOrder {
+		if resident != nil && resident(id) {
+			p.Cancelled = append(p.Cancelled, id)
+		} else {
+			p.BodyLoads = append(p.BodyLoads, id)
+		}
+	}
+}
+
+// ExecuteScratch is Execute on reusable buffers; the returned RunResult
+// and everything it references are owned by sc.
+func (a *Analysis) ExecuteScratch(rb RunBounds, resident func(graph.SubtaskID) bool, sc *ExecScratch) (*RunResult, error) {
+	r := &sc.res
+	a.planInto(&r.Plan, resident)
+	r.InitWindows = r.InitWindows[:0]
+
+	// Initialization phase: serialized loads in stored order. Each
+	// waits for the circuitry and for its target tile to drain.
+	cur := rb.PortFree
+	rows := len(a.Sched.TileOrder)
+	if cap(sc.tileFree) < rows {
+		sc.tileFree = make([]model.Time, rows)
+	}
+	tileFree := sc.tileFree[:rows]
+	for i := range tileFree {
+		tileFree[i] = 0
+	}
+	if rb.TileFree != nil {
+		copy(tileFree, rb.TileFree)
+	}
+	r.InitEnd = cur
+	for _, id := range r.Plan.InitLoads {
+		t := a.Sched.Assignment[id]
+		start := model.MaxT(cur, tileFree[t])
+		lat := a.P.LoadLatency(a.Sched.G.Subtask(id).Load)
+		end := start.Add(lat)
+		r.InitWindows = append(r.InitWindows, LoadWindow{id, start, end})
+		tileFree[t] = end
+		cur = end
+		r.InitEnd = end
+	}
+	r.BodyStart = model.MaxT(rb.TaskStart, r.InitEnd)
+
+	// Body: the design-time schedule with reused loads cancelled. The
+	// critical subtasks are resident by construction now.
+	n := a.Sched.G.Len()
+	if cap(sc.need) < n {
+		sc.need = make([]bool, n)
+	}
+	in := a.Sched.EngineInputNeed(a.P, r.Plan.BodyLoads, sc.need[:n])
+	in.ExecFloor = r.BodyStart
+	in.LoadFloor = model.MaxT(rb.PortFree, r.InitEnd)
+	in.TileFree = tileFree
+	tl, err := sc.body.Compute(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: body schedule: %w", err)
+	}
+	r.Timeline = tl
+
+	// Ideal reference: same decisions, no loads, starting at TaskStart
+	// with the tiles as the previous task left them.
+	if cap(sc.idealNeed) < n {
+		sc.idealNeed = make([]bool, n)
+	}
+	idealNeed := sc.idealNeed[:n]
+	for i := range idealNeed {
+		idealNeed[i] = false
+	}
+	ideal := in
+	ideal.NeedLoad = idealNeed
+	ideal.PortOrder = nil
+	ideal.ExecFloor = rb.TaskStart
+	ideal.TileFree = rb.TileFree
+	idealTL, err := sc.ideal.Compute(ideal)
+	if err != nil {
+		return nil, fmt.Errorf("core: ideal reference: %w", err)
+	}
+
+	r.Makespan = tl.End.Sub(rb.TaskStart)
+	r.Ideal = idealTL.End.Sub(rb.TaskStart)
+	r.Overhead = r.Makespan - r.Ideal
+	r.PortFreeAfter = model.MaxT(r.InitEnd, tl.LastLoadEnd)
+	return r, nil
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/sim"
+	"drhwsched/internal/tcm"
+)
+
+func arrivalsMix() []sim.TaskMix {
+	mk := func(name string, n int) *tcm.Task {
+		g := graph.New(name)
+		prev := graph.SubtaskID(-1)
+		for i := 0; i < n; i++ {
+			id := g.AddSubtask("s", 10*model.Millisecond)
+			if prev >= 0 {
+				g.AddEdge(prev, id)
+			}
+			prev = id
+		}
+		return tcm.NewTask(name, g)
+	}
+	return []sim.TaskMix{{Task: mk("a", 4)}, {Task: mk("b", 3)}}
+}
+
+// TestBatchThreadsArrivalsAndObservers proves the engine passes the
+// kernel's new seams through untouched: one immutable Arrivals value
+// shared by every cell, one Observer per cell, and per-cell results
+// identical to serial sim.Run.
+func TestBatchThreadsArrivalsAndObservers(t *testing.T) {
+	mix := arrivalsMix()
+	p := platform.Default(4)
+	shared := sim.OnOff{POn: 0.9, POff: 0.1, OnToOff: 0.2, OffToOn: 0.3} // safe to share: immutable config
+
+	const cells = 6
+	counts := make([]atomic.Int64, cells)
+	runs := make([]Run, cells)
+	for i := range runs {
+		i := i
+		runs[i] = Run{
+			X: i, Line: "hybrid", Mix: mix, Platform: p,
+			Options: sim.Options{
+				Approach:   sim.Hybrid,
+				Iterations: 25,
+				Seed:       int64(i),
+				Arrivals:   shared,
+				Observer:   func(sim.IterationRecord) { counts[i].Add(1) },
+			},
+		}
+	}
+	eng := New(Config{Workers: 4})
+	out, err := eng.Batch(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rr := range out {
+		if got := counts[i].Load(); got != 25 {
+			t.Fatalf("cell %d observer saw %d records, want 25", i, got)
+		}
+		opt := runs[i].Options
+		opt.Observer = nil
+		want, err := sim.Run(mix, p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The engine result carries cache counters the serial run lacks;
+		// compare the simulation fields.
+		got := *rr.Result
+		got.CacheHits, got.CacheMisses, got.CacheHitRate = 0, 0, 0
+		if got != *want {
+			t.Fatalf("cell %d: engine result diverged from serial run\n%+v\n%+v", i, got, want)
+		}
+	}
+}

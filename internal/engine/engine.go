@@ -121,6 +121,13 @@ func (e *Engine) Simulate(mix []sim.TaskMix, p platform.Platform, opt sim.Option
 // Run is one cell of an experiment grid: a simulation of Mix on
 // Platform under Options, recorded at sweep value X under series line
 // Line.
+//
+// Options.Arrivals and Options.Observer thread through unchanged:
+// Arrivals values are immutable configuration (each run starts its own
+// ArrivalSource), so one value may be shared by every cell of a grid;
+// an Observer is called from the worker goroutine executing its cell,
+// so concurrent cells must use distinct Observer values unless the
+// function is safe for concurrent use.
 type Run struct {
 	X        int
 	Line     string

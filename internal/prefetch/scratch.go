@@ -1,0 +1,332 @@
+package prefetch
+
+import (
+	"drhwsched/internal/assign"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/schedule"
+)
+
+// Scratch carries every reusable buffer the prefetch schedulers need,
+// so the simulator's per-instance loop runs them without allocating.
+// The Result returned by the *Scratch entry points — including its
+// Timeline — is owned by the scratch and valid until the next call on
+// the same scratch. The zero value is ready to use; a Scratch must not
+// be shared between goroutines.
+type Scratch struct {
+	eval  schedule.Scratch // candidate/body timelines
+	ideal schedule.Scratch // zero-overhead references
+
+	need      []bool // NeedLoad buffer for candidate inputs
+	idealNeed []bool // all-false NeedLoad for ideal inputs
+	order     []graph.SubtaskID
+	next      []graph.SubtaskID
+	ready     []model.Time // per subtask, on-demand readiness
+	res       Result
+
+	repair repairScratch
+}
+
+func (sc *Scratch) needBuf(n int) []bool {
+	if cap(sc.need) < n {
+		sc.need = make([]bool, n)
+	}
+	return sc.need[:n]
+}
+
+func (sc *Scratch) idealNeedBuf(n int) []bool {
+	if cap(sc.idealNeed) < n {
+		sc.idealNeed = make([]bool, n)
+	}
+	buf := sc.idealNeed[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// idealMakespan is idealMakespan on the scratch's buffers.
+func (sc *Scratch) idealMakespan(s *assign.Schedule, p platform.Platform, b Bounds) (model.Dur, error) {
+	in := s.EngineInputNeed(p, nil, sc.idealNeedBuf(s.G.Len()))
+	in.ExecFloor = b.ExecFloor
+	in.LoadFloor = b.LoadFloor
+	in.TileFree = b.TileFree
+	in.PortFree = b.PortFree
+	tl, err := sc.ideal.Compute(in)
+	if err != nil {
+		return 0, err
+	}
+	return tl.Makespan(), nil
+}
+
+// evaluateInto evaluates one load order into out; out.Timeline is the
+// scratch's reusable timeline.
+func (sc *Scratch) evaluateInto(out *Result, s *assign.Schedule, p platform.Platform, order []graph.SubtaskID, b Bounds, onDemand bool, ideal model.Dur) error {
+	in := s.EngineInputNeed(p, order, sc.needBuf(s.G.Len()))
+	in.ExecFloor = b.ExecFloor
+	in.LoadFloor = b.LoadFloor
+	if onDemand && in.LoadFloor < b.ExecFloor {
+		// An on-demand load request only exists once the task runs.
+		in.LoadFloor = b.ExecFloor
+	}
+	in.TileFree = b.TileFree
+	in.PortFree = b.PortFree
+	in.OnDemand = onDemand
+	tl, err := sc.eval.Compute(in)
+	if err != nil {
+		return err
+	}
+	*out = Result{
+		PortOrder: order,
+		OnDemand:  onDemand,
+		Timeline:  tl,
+		Makespan:  tl.Makespan(),
+		Ideal:     ideal,
+		Overhead:  tl.Makespan() - ideal,
+	}
+	return nil
+}
+
+// EvaluateScratch is Evaluate on reusable buffers; the returned Result
+// and its Timeline are owned by sc.
+func EvaluateScratch(s *assign.Schedule, p platform.Platform, order []graph.SubtaskID, b Bounds, onDemand bool, sc *Scratch) (*Result, error) {
+	ideal, err := sc.idealMakespan(s, p, b)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.evaluateInto(&sc.res, s, p, order, b, onDemand, ideal); err != nil {
+		return nil, err
+	}
+	return &sc.res, nil
+}
+
+// ScheduleScratch is OnDemand.Schedule on reusable buffers; the
+// returned Result and its Timeline are owned by sc.
+func (OnDemand) ScheduleScratch(s *assign.Schedule, p platform.Platform, loads []graph.SubtaskID, b Bounds, sc *Scratch) (*Result, error) {
+	n := s.G.Len()
+	order := append(sc.order[:0], loads...)
+	s.SortByIdealStart(order)
+	next := sc.next[:0]
+	if cap(sc.ready) < n {
+		sc.ready = make([]model.Time, n)
+	}
+	ready := sc.ready[:n]
+
+	// The ideal reference does not depend on the order; the fixpoint
+	// iterations of the original Schedule recompute it to the same
+	// value, so hoisting it preserves results.
+	ideal, err := sc.idealMakespan(s, p, b)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := 2*len(order) + 2
+	for iter := 0; iter < maxIter; iter++ {
+		if err := sc.evaluateInto(&sc.res, s, p, order, b, true, ideal); err != nil {
+			return nil, err
+		}
+		for _, id := range order {
+			t := b.ExecFloor
+			for _, pr := range s.G.Preds(id) {
+				t = model.MaxT(t, sc.res.Timeline.ExecEnd[pr])
+			}
+			ready[id] = t
+		}
+		next = append(next[:0], order...)
+		// Stable insertion sort by readiness: the same stable order
+		// sort.SliceStable produced, without its allocations.
+		for i := 1; i < len(next); i++ {
+			for j := i; j > 0 && ready[next[j]] < ready[next[j-1]]; j-- {
+				next[j-1], next[j] = next[j], next[j-1]
+			}
+		}
+		sc.repair.repair(s, next, true)
+		if equalOrder(next, order) {
+			break
+		}
+		order, next = next, order
+	}
+	// Both buffers return to the scratch (possibly swapped).
+	sc.order, sc.next = order[:0], next[:0]
+	return &sc.res, nil
+}
+
+// ScheduleScratch is List.Schedule on reusable buffers; the returned
+// Result and its Timeline are owned by sc.
+func (l List) ScheduleScratch(s *assign.Schedule, p platform.Platform, loads []graph.SubtaskID, b Bounds, sc *Scratch) (*Result, error) {
+	ideal, err := sc.idealMakespan(s, p, b)
+	if err != nil {
+		return nil, err
+	}
+	order := append(sc.order[:0], loads...)
+	s.SortByIdealStart(order)
+	var best, cand Result
+	if err := sc.evaluateInto(&best, s, p, order, b, false, ideal); err != nil {
+		return nil, err
+	}
+	passes := l.MaxPasses
+	if passes == 0 {
+		passes = 2
+	}
+	for pass := 0; pass < passes && best.Overhead > 0; pass++ {
+		improved := false
+		for i := 0; i+1 < len(order); i++ {
+			order[i], order[i+1] = order[i+1], order[i]
+			err := sc.evaluateInto(&cand, s, p, order, b, false, ideal)
+			if err != nil || cand.Makespan >= best.Makespan {
+				// Swap infeasible (tile-order cycle) or not better.
+				order[i], order[i+1] = order[i+1], order[i]
+				continue
+			}
+			best = cand
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	// order holds the best order found (rejected swaps were reverted);
+	// evaluate it once more so the returned timeline matches it.
+	final := append(sc.next[:0], best.PortOrder...)
+	sc.next = final[:0]
+	sc.order = order[:0]
+	if err := sc.evaluateInto(&sc.res, s, p, final, b, false, ideal); err != nil {
+		return nil, err
+	}
+	return &sc.res, nil
+}
+
+// repairScratch holds id-indexed buffers for the feasibility repair of
+// a load order (the allocation-free counterpart of repairOrder's maps).
+type repairScratch struct {
+	inSet    []bool
+	prevExec []graph.SubtaskID // -1 when first on its tile
+	deps     [][]graph.SubtaskID
+	seen     []bool
+	emitted  []bool
+	out      []graph.SubtaskID
+	stack    []graph.SubtaskID
+}
+
+func (rs *repairScratch) grow(n int) {
+	if cap(rs.inSet) < n {
+		rs.inSet = make([]bool, n)
+		rs.prevExec = make([]graph.SubtaskID, n)
+		rs.deps = make([][]graph.SubtaskID, n)
+		rs.seen = make([]bool, n)
+		rs.emitted = make([]bool, n)
+	}
+	rs.inSet = rs.inSet[:n]
+	rs.prevExec = rs.prevExec[:n]
+	rs.deps = rs.deps[:n]
+	rs.seen = rs.seen[:n]
+	rs.emitted = rs.emitted[:n]
+	for i := 0; i < n; i++ {
+		rs.inSet[i] = false
+		rs.prevExec[i] = -1
+		rs.deps[i] = rs.deps[i][:0]
+		rs.emitted[i] = false
+	}
+	rs.out = rs.out[:0]
+	rs.stack = rs.stack[:0]
+}
+
+// repair permutes order in place exactly as repairOrder does: same
+// dependency collection order, same stable emission loop — only the
+// map-backed bookkeeping is replaced by id-indexed slices.
+func (rs *repairScratch) repair(s *assign.Schedule, order []graph.SubtaskID, onDemand bool) {
+	m := len(order)
+	if m < 2 {
+		return
+	}
+	n := s.G.Len()
+	rs.grow(n)
+	for _, id := range order {
+		rs.inSet[id] = true
+	}
+	// deps[i] lists loads that must be issued before order-member i.
+	for _, tileOrder := range s.TileOrder {
+		var prev graph.SubtaskID = -1
+		for _, id := range tileOrder {
+			if !rs.inSet[id] {
+				continue
+			}
+			if prev >= 0 {
+				rs.deps[id] = append(rs.deps[id], prev)
+			}
+			prev = id
+		}
+	}
+	if onDemand {
+		// An on-demand load waits for its predecessors' executions, so
+		// any loaded subtask executing strictly before subtask i must
+		// have its load issued before i's (see repairOrder): walk each
+		// load's combined-predecessor closure (graph edges plus per-tile
+		// execution chains) and record the loaded members.
+		for _, tileOrder := range s.TileOrder {
+			for k := 1; k < len(tileOrder); k++ {
+				rs.prevExec[tileOrder[k]] = tileOrder[k-1]
+			}
+		}
+		push := func(stack []graph.SubtaskID, id graph.SubtaskID) []graph.SubtaskID {
+			stack = append(stack, s.G.Preds(id)...)
+			if pe := rs.prevExec[id]; pe >= 0 {
+				stack = append(stack, pe)
+			}
+			return stack
+		}
+		for _, id := range order {
+			for i := 0; i < n; i++ {
+				rs.seen[i] = false
+			}
+			stack := push(rs.stack[:0], id)
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if rs.seen[p] {
+					continue
+				}
+				rs.seen[p] = true
+				if rs.inSet[p] && p != id {
+					rs.deps[id] = append(rs.deps[id], p)
+				}
+				stack = push(stack, p)
+			}
+			rs.stack = stack[:0]
+		}
+	}
+	out := rs.out[:0]
+	for len(out) < m {
+		progress := false
+		for _, id := range order {
+			if rs.emitted[id] {
+				continue
+			}
+			ok := true
+			for _, d := range rs.deps[id] {
+				if !rs.emitted[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, id)
+				rs.emitted[id] = true
+				progress = true
+			}
+		}
+		if !progress {
+			// The constraints are cyclic only if the tile orders
+			// contradict the graph, which Compute reports later;
+			// emit the remainder unchanged.
+			for _, id := range order {
+				if !rs.emitted[id] {
+					out = append(out, id)
+				}
+			}
+			break
+		}
+	}
+	copy(order, out)
+	rs.out = out[:0]
+}

@@ -17,9 +17,7 @@
 package reconfig
 
 import (
-	"fmt"
 	"math/rand"
-	"sort"
 
 	"drhwsched/internal/assign"
 	"drhwsched/internal/graph"
@@ -216,134 +214,9 @@ type MapOptions struct {
 // Virtual tiles that execute nothing are parked on the leftover
 // physical tiles so the configurations there survive for future tasks.
 func Map(s *assign.Schedule, st *State, opt MapOptions) (Mapping, error) {
-	k := s.Tiles
-	if k > st.Tiles() {
-		return Mapping{}, fmt.Errorf("reconfig: schedule needs %d tiles, platform has %d", k, st.Tiles())
-	}
-	policy := opt.Policy
-	if policy == nil {
-		policy = LRU{}
-	}
-
-	m := Mapping{PhysOf: make([]int, k)}
-	for v := range m.PhysOf {
-		m.PhysOf[v] = -1
-	}
-	taken := make([]bool, st.Tiles())
-	claim := func(v, t int) {
-		m.PhysOf[v] = t
-		taken[t] = true
-	}
-
-	// Partition the busy virtual tiles by the criticality of their
-	// first subtask, each group in descending weight order.
-	var busyCrit, busyRest []int
-	for v := 0; v < k; v++ {
-		if len(s.TileOrder[v]) == 0 {
-			continue
-		}
-		first := s.TileOrder[v][0]
-		if opt.Critical != nil && opt.Critical(first) {
-			busyCrit = append(busyCrit, v)
-		} else {
-			busyRest = append(busyRest, v)
-		}
-	}
-	byWeight := func(vs []int) {
-		sort.SliceStable(vs, func(a, b int) bool {
-			wa := s.Weights[s.TileOrder[vs[a]][0]]
-			wb := s.Weights[s.TileOrder[vs[b]][0]]
-			if wa != wb {
-				return wa > wb
-			}
-			return vs[a] < vs[b]
-		})
-	}
-	byWeight(busyCrit)
-	byWeight(busyRest)
-
-	match := func(v int) bool {
-		cfg := s.G.Subtask(s.TileOrder[v][0]).Config
-		for _, t := range st.Holding(cfg) {
-			if !taken[t] {
-				claim(v, t)
-				return true
-			}
-		}
-		return false
-	}
-
-	// Pass 1: critical reuse matches.
-	var initTiles []int
-	for _, v := range busyCrit {
-		if !match(v) {
-			initTiles = append(initTiles, v)
-		}
-	}
-	// Pass 2: unmatched critical subtasks need initialization loads;
-	// give them the earliest-draining tiles so the inter-task window
-	// can hide those loads. Empty tiles have a zero LastUse and win
-	// automatically.
-	for _, v := range initTiles {
-		best := -1
-		for t := 0; t < st.Tiles(); t++ {
-			if taken[t] {
-				continue
-			}
-			if best < 0 || st.LastUse[t] < st.LastUse[best] {
-				best = t
-			}
-		}
-		if best < 0 {
-			return Mapping{}, fmt.Errorf("reconfig: ran out of physical tiles")
-		}
-		claim(v, best)
-	}
-	// Pass 3: non-critical reuse matches on what remains.
-	var unmatched []int
-	for _, v := range busyRest {
-		if !match(v) {
-			unmatched = append(unmatched, v)
-		}
-	}
-	// Pass 4: replacement policy picks victims for the rest. Empty
-	// tiles are preferred outright — evicting nothing is always safe.
-	for _, v := range unmatched {
-		var empties, others []int
-		for t := 0; t < st.Tiles(); t++ {
-			if taken[t] {
-				continue
-			}
-			if st.Configs[t] == "" {
-				empties = append(empties, t)
-			} else {
-				others = append(others, t)
-			}
-		}
-		var pick int
-		switch {
-		case len(empties) > 0:
-			pick = empties[0]
-		case len(others) > 0:
-			pick = policy.Victim(st, others, opt.Future)
-		default:
-			return Mapping{}, fmt.Errorf("reconfig: ran out of physical tiles")
-		}
-		claim(v, pick)
-	}
-
-	// Pass 5: park idle virtual tiles on leftovers.
-	next := 0
-	for v := 0; v < k; v++ {
-		if m.PhysOf[v] >= 0 {
-			continue
-		}
-		for taken[next] {
-			next++
-		}
-		claim(v, next)
-	}
-	return m, nil
+	// A fresh scratch per call keeps the returned mapping unaliased;
+	// hot loops reuse buffers via MapInto.
+	return MapInto(s, st, opt, new(MapScratch))
 }
 
 // Resident reports, per subtask, whether its configuration is already on
@@ -351,19 +224,7 @@ func Map(s *assign.Schedule, st *State, opt MapOptions) (Mapping, error) {
 // the previous task (first on the tile) or left by an earlier same-
 // configuration subtask of this very instance.
 func Resident(s *assign.Schedule, st *State, m Mapping) map[graph.SubtaskID]bool {
-	res := make(map[graph.SubtaskID]bool)
-	for v := 0; v < s.Tiles; v++ {
-		cur := st.Configs[m.PhysOf[v]]
-		for _, id := range s.TileOrder[v] {
-			cfg := s.G.Subtask(id).Config
-			if cfg == cur {
-				res[id] = true
-			} else {
-				cur = cfg
-			}
-		}
-	}
-	return res
+	return ResidentInto(nil, s, st, m)
 }
 
 // Commit updates the state after the instance ran: each busy tile holds

@@ -24,7 +24,6 @@
 package schedule
 
 import (
-	"errors"
 	"fmt"
 
 	"drhwsched/internal/graph"
@@ -131,215 +130,16 @@ type constraint struct {
 // Compute evaluates the constraint system and returns the timeline.
 // It fails if the input is malformed or if the decision orders are
 // mutually inconsistent (cyclic).
+//
+// Every call allocates a fresh Timeline; callers evaluating many inputs
+// back to back reuse the buffers via Scratch.Compute instead.
 func Compute(in Input) (*Timeline, error) {
-	if err := checkInput(in); err != nil {
+	tl, err := new(Scratch).Compute(in)
+	if err != nil {
 		return nil, err
 	}
-	n := in.G.Len()
-
-	nodeIdx := func(r nodeRef) int { return int(r.id)*2 + r.kind }
-	loaded := func(id graph.SubtaskID) bool { return in.NeedLoad[id] }
-
-	// Collect constraints per node.
-	cons := make([][]constraint, 2*n)
-	addCon := func(to nodeRef, c constraint) { cons[nodeIdx(to)] = append(cons[nodeIdx(to)], c) }
-
-	exists := make([]bool, 2*n)
-	for i := 0; i < n; i++ {
-		exists[nodeIdx(nodeRef{kindExec, graph.SubtaskID(i)})] = true
-		if loaded(graph.SubtaskID(i)) {
-			exists[nodeIdx(nodeRef{kindLoad, graph.SubtaskID(i)})] = true
-		}
-	}
-
-	// Precedence edges: exec(p) -> exec(i), plus exec(p) -> load(i)
-	// under on-demand semantics.
-	for _, e := range in.G.Edges() {
-		var comm model.Dur
-		if in.CommDelay != nil {
-			comm = in.CommDelay(e, in.Assignment[e.From], in.Assignment[e.To])
-		}
-		addCon(nodeRef{kindExec, e.To}, constraint{nodeRef{kindExec, e.From}, true, comm})
-		if in.OnDemand && loaded(e.To) {
-			addCon(nodeRef{kindLoad, e.To}, constraint{nodeRef{kindExec, e.From}, true, 0})
-		}
-	}
-	// Load before execution.
-	for i := 0; i < n; i++ {
-		id := graph.SubtaskID(i)
-		if loaded(id) {
-			addCon(nodeRef{kindExec, id}, constraint{nodeRef{kindLoad, id}, true, 0})
-		}
-	}
-	// Tile order: executions chain; a load waits for the previous
-	// execution on its tile (reconfiguration destroys tile state).
-	for _, order := range in.TileOrder {
-		for k := range order {
-			cur := order[k]
-			if k == 0 {
-				continue
-			}
-			prev := order[k-1]
-			addCon(nodeRef{kindExec, cur}, constraint{nodeRef{kindExec, prev}, true, 0})
-			if loaded(cur) {
-				addCon(nodeRef{kindLoad, cur}, constraint{nodeRef{kindExec, prev}, true, 0})
-			}
-		}
-	}
-	// Port order: loads start in sequence (no overtaking).
-	for k := 1; k < len(in.PortOrder); k++ {
-		addCon(nodeRef{kindLoad, in.PortOrder[k]},
-			constraint{nodeRef{kindLoad, in.PortOrder[k-1]}, false, 0})
-	}
-
-	// Kahn over the constraint DAG.
-	indeg := make([]int, 2*n)
-	out := make([][]nodeRef, 2*n)
-	for to := 0; to < 2*n; to++ {
-		if !exists[to] {
-			continue
-		}
-		for _, c := range cons[to] {
-			fi := nodeIdx(c.from)
-			if !exists[fi] {
-				return nil, fmt.Errorf("schedule: constraint from nonexistent node %v", c.from)
-			}
-			indeg[to]++
-			out[fi] = append(out[fi], nodeRef{to % 2, graph.SubtaskID(to / 2)})
-		}
-	}
-
-	tl := &Timeline{
-		LoadStart: make([]model.Time, n),
-		LoadEnd:   make([]model.Time, n),
-		LoadPort:  make([]int, n),
-		ExecStart: make([]model.Time, n),
-		ExecEnd:   make([]model.Time, n),
-		Start:     in.ExecFloor,
-	}
-	for i := 0; i < n; i++ {
-		tl.LoadStart[i], tl.LoadEnd[i], tl.LoadPort[i] = NoEvent, NoEvent, -1
-	}
-
-	portFree := make([]model.Time, in.P.Ports)
-	for p := range portFree {
-		portFree[p] = in.LoadFloor
-		if in.PortFree != nil {
-			portFree[p] = model.MaxT(portFree[p], in.PortFree[p])
-		}
-	}
-	tileFloor := func(t int) model.Time {
-		if in.TileFree == nil {
-			return 0
-		}
-		return in.TileFree[t]
-	}
-
-	startOf := func(r nodeRef) model.Time {
-		if r.kind == kindExec {
-			return tl.ExecStart[r.id]
-		}
-		return tl.LoadStart[r.id]
-	}
-	endOf := func(r nodeRef) model.Time {
-		if r.kind == kindExec {
-			return tl.ExecEnd[r.id]
-		}
-		return tl.LoadEnd[r.id]
-	}
-
-	// Ready set ordered by (kind, position) so that load nodes are
-	// resolved in port order and the port-availability bookkeeping
-	// below stays consistent with the no-overtaking constraints.
-	var ready []nodeRef
-	for i := 0; i < 2*n; i++ {
-		if exists[i] && indeg[i] == 0 {
-			ready = append(ready, nodeRef{i % 2, graph.SubtaskID(i / 2)})
-		}
-	}
-	firstOnTile := make([]bool, n)
-	for _, order := range in.TileOrder {
-		if len(order) > 0 {
-			firstOnTile[order[0]] = true
-		}
-	}
-
-	done := 0
-	total := 0
-	for i := 0; i < 2*n; i++ {
-		if exists[i] {
-			total++
-		}
-	}
-	tl.LastLoadEnd = in.LoadFloor
-	anyLoad := false
-
-	for len(ready) > 0 {
-		r := ready[len(ready)-1]
-		ready = ready[:len(ready)-1]
-		done++
-
-		var bound model.Time
-		if r.kind == kindExec {
-			bound = in.ExecFloor
-			if firstOnTile[r.id] {
-				bound = model.MaxT(bound, tileFloor(in.Assignment[r.id]))
-			}
-		} else {
-			bound = in.LoadFloor
-			if firstOnTile[r.id] {
-				bound = model.MaxT(bound, tileFloor(in.Assignment[r.id]))
-			}
-			if in.LoadEarliest != nil && in.LoadEarliest[r.id] > 0 {
-				bound = model.MaxT(bound, in.LoadEarliest[r.id])
-			}
-		}
-		for _, c := range cons[nodeIdx(r)] {
-			if c.fromEnd {
-				bound = model.MaxT(bound, endOf(c.from).Add(c.delay))
-			} else {
-				bound = model.MaxT(bound, startOf(c.from).Add(c.delay))
-			}
-		}
-
-		if r.kind == kindExec {
-			tl.ExecStart[r.id] = bound
-			tl.ExecEnd[r.id] = bound.Add(in.G.Subtask(r.id).Exec)
-			tl.End = model.MaxT(tl.End, tl.ExecEnd[r.id])
-		} else {
-			// Pick the earliest-free controller; FIFO dispatch.
-			best := 0
-			for p := 1; p < len(portFree); p++ {
-				if portFree[p] < portFree[best] {
-					best = p
-				}
-			}
-			start := model.MaxT(bound, portFree[best])
-			lat := in.P.LoadLatency(in.G.Subtask(r.id).Load)
-			tl.LoadStart[r.id] = start
-			tl.LoadEnd[r.id] = start.Add(lat)
-			tl.LoadPort[r.id] = best
-			portFree[best] = tl.LoadEnd[r.id]
-			tl.LastLoadEnd = model.MaxT(tl.LastLoadEnd, tl.LoadEnd[r.id])
-			anyLoad = true
-		}
-
-		for _, s := range out[nodeIdx(r)] {
-			si := nodeIdx(s)
-			indeg[si]--
-			if indeg[si] == 0 {
-				ready = append(ready, s)
-			}
-		}
-	}
-	if done != total {
-		return nil, fmt.Errorf("schedule: inconsistent decision orders (constraint cycle) in %q", in.G.Name)
-	}
-	if !anyLoad {
-		tl.LastLoadEnd = in.LoadFloor
-	}
-	tl.End = model.MaxT(tl.End, in.ExecFloor)
-	tl.PortFreeAfter = portFree
+	// The scratch is about to go out of scope; its timeline is as fresh
+	// as a direct allocation would have been.
 	return tl, nil
 }
 
@@ -353,14 +153,9 @@ func Ideal(in Input) Input {
 	return out
 }
 
-// checkInput validates structural properties of the decision set.
-func checkInput(in Input) error {
-	if in.G == nil {
-		return errors.New("schedule: nil graph")
-	}
-	if err := in.P.Validate(); err != nil {
-		return err
-	}
+// checkInput validates structural properties of the decision set. seen
+// and inPort are caller-owned all-false buffers of length G.Len().
+func checkInput(in Input, seen, inPort []bool) error {
 	n := in.G.Len()
 	if len(in.Assignment) != n {
 		return fmt.Errorf("schedule: assignment covers %d of %d subtasks", len(in.Assignment), n)
@@ -377,7 +172,6 @@ func checkInput(in Input) error {
 	if in.PortFree != nil && len(in.PortFree) != in.P.Ports {
 		return fmt.Errorf("schedule: portFree covers %d of %d ports", len(in.PortFree), in.P.Ports)
 	}
-	seen := make([]bool, n)
 	for t, order := range in.TileOrder {
 		for _, id := range order {
 			if id < 0 || int(id) >= n {
@@ -413,7 +207,6 @@ func checkInput(in Input) error {
 			return fmt.Errorf("schedule: ISP subtask %d cannot be loaded", i)
 		}
 	}
-	inPort := make([]bool, n)
 	for _, id := range in.PortOrder {
 		if id < 0 || int(id) >= n {
 			return fmt.Errorf("schedule: port order lists unknown subtask %d", id)

@@ -1,0 +1,326 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+)
+
+// Scratch holds every buffer one Compute evaluation needs, so a caller
+// evaluating many inputs back to back (the simulator's per-iteration
+// loop, the prefetch schedulers' candidate searches) performs no
+// allocations after the first call. The Timeline returned by
+// Scratch.Compute — including all of its slices — is owned by the
+// Scratch and valid only until its next Compute call; callers that need
+// two live timelines (e.g. a body and an ideal reference) use two
+// Scratches.
+//
+// A Scratch must not be shared between goroutines. The zero value is
+// ready to use.
+type Scratch struct {
+	cons        [][]constraint
+	out         [][]nodeRef
+	exists      []bool
+	indeg       []int
+	ready       []nodeRef
+	firstOnTile []bool
+	seen        []bool
+	inPort      []bool
+
+	tl        Timeline
+	loadStart []model.Time
+	loadEnd   []model.Time
+	loadPort  []int
+	execStart []model.Time
+	execEnd   []model.Time
+	portFree  []model.Time
+}
+
+// growSubtasks sizes the per-subtask buffers (also used by input
+// validation, which runs before the main grow).
+func (sc *Scratch) growSubtasks(n int) {
+	if cap(sc.firstOnTile) < n {
+		sc.firstOnTile = make([]bool, n)
+		sc.seen = make([]bool, n)
+		sc.inPort = make([]bool, n)
+		sc.loadStart = make([]model.Time, n)
+		sc.loadEnd = make([]model.Time, n)
+		sc.loadPort = make([]int, n)
+		sc.execStart = make([]model.Time, n)
+		sc.execEnd = make([]model.Time, n)
+	}
+	sc.firstOnTile = sc.firstOnTile[:n]
+	sc.seen = sc.seen[:n]
+	sc.inPort = sc.inPort[:n]
+	sc.loadStart = sc.loadStart[:n]
+	sc.loadEnd = sc.loadEnd[:n]
+	sc.loadPort = sc.loadPort[:n]
+	sc.execStart = sc.execStart[:n]
+	sc.execEnd = sc.execEnd[:n]
+	for i := 0; i < n; i++ {
+		sc.firstOnTile[i] = false
+		sc.seen[i] = false
+		sc.inPort[i] = false
+		sc.execStart[i] = 0
+		sc.execEnd[i] = 0
+	}
+}
+
+// grow sizes the buffers for a graph of n subtasks on ports controllers,
+// resetting everything the evaluation reads.
+func (sc *Scratch) grow(n, ports int) {
+	n2 := 2 * n
+	if cap(sc.exists) < n2 {
+		sc.cons = make([][]constraint, n2)
+		sc.out = make([][]nodeRef, n2)
+		sc.exists = make([]bool, n2)
+		sc.indeg = make([]int, n2)
+	}
+	sc.cons = sc.cons[:n2]
+	sc.out = sc.out[:n2]
+	sc.exists = sc.exists[:n2]
+	sc.indeg = sc.indeg[:n2]
+	for i := 0; i < n2; i++ {
+		sc.cons[i] = sc.cons[i][:0]
+		sc.out[i] = sc.out[i][:0]
+		sc.exists[i] = false
+		sc.indeg[i] = 0
+	}
+	sc.growSubtasks(n)
+	if cap(sc.portFree) < ports {
+		sc.portFree = make([]model.Time, ports)
+	}
+	sc.portFree = sc.portFree[:ports]
+	sc.ready = sc.ready[:0]
+}
+
+// checkInput validates in using the scratch's buffers.
+func (sc *Scratch) checkInput(in Input) error {
+	if in.G == nil {
+		return errors.New("schedule: nil graph")
+	}
+	if err := in.P.Validate(); err != nil {
+		return err
+	}
+	sc.growSubtasks(in.G.Len())
+	return checkInput(in, sc.seen, sc.inPort)
+}
+
+// Compute evaluates the constraint system into the scratch's reusable
+// timeline. Semantics are identical to the package-level Compute; only
+// the allocation behaviour differs.
+func (sc *Scratch) Compute(in Input) (*Timeline, error) {
+	if err := sc.checkInput(in); err != nil {
+		return nil, err
+	}
+	n := in.G.Len()
+	sc.grow(n, in.P.Ports)
+
+	nodeIdx := func(r nodeRef) int { return int(r.id)*2 + r.kind }
+	loaded := func(id graph.SubtaskID) bool { return in.NeedLoad[id] }
+
+	cons := sc.cons
+	addCon := func(to nodeRef, c constraint) { cons[nodeIdx(to)] = append(cons[nodeIdx(to)], c) }
+
+	exists := sc.exists
+	for i := 0; i < n; i++ {
+		exists[nodeIdx(nodeRef{kindExec, graph.SubtaskID(i)})] = true
+		if loaded(graph.SubtaskID(i)) {
+			exists[nodeIdx(nodeRef{kindLoad, graph.SubtaskID(i)})] = true
+		}
+	}
+
+	// Precedence edges: exec(p) -> exec(i), plus exec(p) -> load(i)
+	// under on-demand semantics.
+	for _, e := range in.G.Edges() {
+		var comm model.Dur
+		if in.CommDelay != nil {
+			comm = in.CommDelay(e, in.Assignment[e.From], in.Assignment[e.To])
+		}
+		addCon(nodeRef{kindExec, e.To}, constraint{nodeRef{kindExec, e.From}, true, comm})
+		if in.OnDemand && loaded(e.To) {
+			addCon(nodeRef{kindLoad, e.To}, constraint{nodeRef{kindExec, e.From}, true, 0})
+		}
+	}
+	// Load before execution.
+	for i := 0; i < n; i++ {
+		id := graph.SubtaskID(i)
+		if loaded(id) {
+			addCon(nodeRef{kindExec, id}, constraint{nodeRef{kindLoad, id}, true, 0})
+		}
+	}
+	// Tile order: executions chain; a load waits for the previous
+	// execution on its tile (reconfiguration destroys tile state).
+	for _, order := range in.TileOrder {
+		for k := range order {
+			cur := order[k]
+			if k == 0 {
+				continue
+			}
+			prev := order[k-1]
+			addCon(nodeRef{kindExec, cur}, constraint{nodeRef{kindExec, prev}, true, 0})
+			if loaded(cur) {
+				addCon(nodeRef{kindLoad, cur}, constraint{nodeRef{kindExec, prev}, true, 0})
+			}
+		}
+	}
+	// Port order: loads start in sequence (no overtaking).
+	for k := 1; k < len(in.PortOrder); k++ {
+		addCon(nodeRef{kindLoad, in.PortOrder[k]},
+			constraint{nodeRef{kindLoad, in.PortOrder[k-1]}, false, 0})
+	}
+
+	// Kahn over the constraint DAG.
+	indeg := sc.indeg
+	out := sc.out
+	for to := 0; to < 2*n; to++ {
+		if !exists[to] {
+			continue
+		}
+		for _, c := range cons[to] {
+			fi := nodeIdx(c.from)
+			if !exists[fi] {
+				return nil, fmt.Errorf("schedule: constraint from nonexistent node %v", c.from)
+			}
+			indeg[to]++
+			out[fi] = append(out[fi], nodeRef{to % 2, graph.SubtaskID(to / 2)})
+		}
+	}
+
+	tl := &sc.tl
+	*tl = Timeline{
+		LoadStart: sc.loadStart,
+		LoadEnd:   sc.loadEnd,
+		LoadPort:  sc.loadPort,
+		ExecStart: sc.execStart,
+		ExecEnd:   sc.execEnd,
+		Start:     in.ExecFloor,
+	}
+	for i := 0; i < n; i++ {
+		tl.LoadStart[i], tl.LoadEnd[i], tl.LoadPort[i] = NoEvent, NoEvent, -1
+	}
+
+	portFree := sc.portFree
+	for p := range portFree {
+		portFree[p] = in.LoadFloor
+		if in.PortFree != nil {
+			portFree[p] = model.MaxT(portFree[p], in.PortFree[p])
+		}
+	}
+	tileFloor := func(t int) model.Time {
+		if in.TileFree == nil {
+			return 0
+		}
+		return in.TileFree[t]
+	}
+
+	startOf := func(r nodeRef) model.Time {
+		if r.kind == kindExec {
+			return tl.ExecStart[r.id]
+		}
+		return tl.LoadStart[r.id]
+	}
+	endOf := func(r nodeRef) model.Time {
+		if r.kind == kindExec {
+			return tl.ExecEnd[r.id]
+		}
+		return tl.LoadEnd[r.id]
+	}
+
+	// Ready set ordered by (kind, position) so that load nodes are
+	// resolved in port order and the port-availability bookkeeping
+	// below stays consistent with the no-overtaking constraints.
+	ready := sc.ready
+	for i := 0; i < 2*n; i++ {
+		if exists[i] && indeg[i] == 0 {
+			ready = append(ready, nodeRef{i % 2, graph.SubtaskID(i / 2)})
+		}
+	}
+	firstOnTile := sc.firstOnTile
+	for _, order := range in.TileOrder {
+		if len(order) > 0 {
+			firstOnTile[order[0]] = true
+		}
+	}
+
+	done := 0
+	total := 0
+	for i := 0; i < 2*n; i++ {
+		if exists[i] {
+			total++
+		}
+	}
+	tl.LastLoadEnd = in.LoadFloor
+	anyLoad := false
+
+	for len(ready) > 0 {
+		r := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		done++
+
+		var bound model.Time
+		if r.kind == kindExec {
+			bound = in.ExecFloor
+			if firstOnTile[r.id] {
+				bound = model.MaxT(bound, tileFloor(in.Assignment[r.id]))
+			}
+		} else {
+			bound = in.LoadFloor
+			if firstOnTile[r.id] {
+				bound = model.MaxT(bound, tileFloor(in.Assignment[r.id]))
+			}
+			if in.LoadEarliest != nil && in.LoadEarliest[r.id] > 0 {
+				bound = model.MaxT(bound, in.LoadEarliest[r.id])
+			}
+		}
+		for _, c := range cons[nodeIdx(r)] {
+			if c.fromEnd {
+				bound = model.MaxT(bound, endOf(c.from).Add(c.delay))
+			} else {
+				bound = model.MaxT(bound, startOf(c.from).Add(c.delay))
+			}
+		}
+
+		if r.kind == kindExec {
+			tl.ExecStart[r.id] = bound
+			tl.ExecEnd[r.id] = bound.Add(in.G.Subtask(r.id).Exec)
+			tl.End = model.MaxT(tl.End, tl.ExecEnd[r.id])
+		} else {
+			// Pick the earliest-free controller; FIFO dispatch.
+			best := 0
+			for p := 1; p < len(portFree); p++ {
+				if portFree[p] < portFree[best] {
+					best = p
+				}
+			}
+			start := model.MaxT(bound, portFree[best])
+			lat := in.P.LoadLatency(in.G.Subtask(r.id).Load)
+			tl.LoadStart[r.id] = start
+			tl.LoadEnd[r.id] = start.Add(lat)
+			tl.LoadPort[r.id] = best
+			portFree[best] = tl.LoadEnd[r.id]
+			tl.LastLoadEnd = model.MaxT(tl.LastLoadEnd, tl.LoadEnd[r.id])
+			anyLoad = true
+		}
+
+		for _, s := range out[nodeIdx(r)] {
+			si := nodeIdx(s)
+			indeg[si]--
+			if indeg[si] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	sc.ready = ready[:0]
+	if done != total {
+		return nil, fmt.Errorf("schedule: inconsistent decision orders (constraint cycle) in %q", in.G.Name)
+	}
+	if !anyLoad {
+		tl.LastLoadEnd = in.LoadFloor
+	}
+	tl.End = model.MaxT(tl.End, in.ExecFloor)
+	tl.PortFreeAfter = portFree
+	return tl, nil
+}

@@ -1,0 +1,45 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"drhwsched/internal/model"
+)
+
+// TestScratchComputeMatchesFresh reuses one Scratch across inputs of
+// varying sizes and shapes — the simulator's usage pattern — and pins
+// every timeline to a fresh per-call computation. Stale buffer state
+// (un-reset constraint rows, oversized slices) shows up here.
+func TestScratchComputeMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sc := &Scratch{}
+	for trial := 0; trial < 60; trial++ {
+		in := randomInput(rng, 1+rng.Intn(5))
+		in.ExecFloor = model.Time(rng.Intn(30)) * model.Time(model.Millisecond)
+		want, err := Compute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sc.Compute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.End != want.End || got.LastLoadEnd != want.LastLoadEnd || got.Start != want.Start {
+			t.Fatalf("trial %d: scratch summary (end %v, lastLoad %v) != fresh (end %v, lastLoad %v)",
+				trial, got.End, got.LastLoadEnd, want.End, want.LastLoadEnd)
+		}
+		for i := range want.ExecStart {
+			if got.ExecStart[i] != want.ExecStart[i] || got.ExecEnd[i] != want.ExecEnd[i] ||
+				got.LoadStart[i] != want.LoadStart[i] || got.LoadEnd[i] != want.LoadEnd[i] ||
+				got.LoadPort[i] != want.LoadPort[i] {
+				t.Fatalf("trial %d: event times differ at subtask %d", trial, i)
+			}
+		}
+		for p := range want.PortFreeAfter {
+			if got.PortFreeAfter[p] != want.PortFreeAfter[p] {
+				t.Fatalf("trial %d: port %d free time differs", trial, p)
+			}
+		}
+	}
+}

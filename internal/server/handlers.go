@@ -175,6 +175,16 @@ type SimulateResponse struct {
 	DeadlineMisses int     `json:"deadline_misses,omitempty"`
 	PointEnergyMJ  float64 `json:"point_energy_mj,omitempty"`
 
+	// Per-iteration tail percentiles (milliseconds): the distribution
+	// of iteration makespans and reconfiguration overheads, not just
+	// their means.
+	MakespanP50MS float64 `json:"makespan_p50_ms"`
+	MakespanP95MS float64 `json:"makespan_p95_ms"`
+	MakespanP99MS float64 `json:"makespan_p99_ms"`
+	OverheadP50MS float64 `json:"overhead_p50_ms"`
+	OverheadP95MS float64 `json:"overhead_p95_ms"`
+	OverheadP99MS float64 `json:"overhead_p99_ms"`
+
 	// Per-run analysis-cache traffic (this request only) and the
 	// engine-wide snapshot.
 	CacheHits   int       `json:"cache_hits"`
@@ -205,15 +215,47 @@ func simulateResponse(name string, pstr string, res *sim.Result) SimulateRespons
 		SchedCostMS:    res.SchedCost.Milliseconds(),
 		DeadlineMisses: res.DeadlineMisses,
 		PointEnergyMJ:  res.PointEnergy,
+		MakespanP50MS:  res.IterMakespan.P50,
+		MakespanP95MS:  res.IterMakespan.P95,
+		MakespanP99MS:  res.IterMakespan.P99,
+		OverheadP50MS:  res.IterOverhead.P50,
+		OverheadP95MS:  res.IterOverhead.P95,
+		OverheadP99MS:  res.IterOverhead.P99,
 		CacheHits:      res.CacheHits,
 		CacheMisses:    res.CacheMisses,
 	}
+}
+
+// IterationWire is one NDJSON line of /v1/simulate?stream=iterations:
+// the kernel's per-iteration record in wire units.
+type IterationWire struct {
+	Iteration    int     `json:"iteration"`
+	Instances    int     `json:"instances"`
+	MakespanMS   float64 `json:"makespan_ms"`
+	OverheadMS   float64 `json:"overhead_ms"`
+	Loads        int     `json:"loads"`
+	Reuses       int     `json:"reuses"`
+	DeadlineMiss bool    `json:"deadline_miss,omitempty"`
+}
+
+// SimulateSummary terminates an iteration stream: the full aggregate
+// (tail percentiles included) flagged as the final line. A client that
+// never sees done=true knows its stream was cut short.
+type SimulateSummary struct {
+	Done bool `json:"done"`
+	SimulateResponse
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	spec, err := s.readRun(r)
 	if err != nil {
 		return err
+	}
+	if mode := r.URL.Query().Get("stream"); mode != "" {
+		if mode != "iterations" {
+			return badRequest("simulate: unknown stream mode %q (iterations)", mode)
+		}
+		return s.streamSimulate(w, r, spec)
 	}
 	res, err := s.eng.SimulateContext(r.Context(), spec.Mix, spec.Platform, spec.Options)
 	if err != nil {
@@ -225,6 +267,63 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	resp := simulateResponse(spec.Name, spec.Platform.String(), res)
 	resp.Cache = cacheWire(s.eng.CacheStats())
 	return writeJSON(w, resp)
+}
+
+// streamSimulate runs the simulation with an observer that emits one
+// NDJSON line per iteration, then the aggregate as a summary line. The
+// observer runs synchronously on the request goroutine, so encoding
+// needs no locking; a client that disconnects cancels the request
+// context, which aborts the simulation at its next iteration boundary.
+func (s *Server) streamSimulate(w http.ResponseWriter, r *http.Request, spec *workload.RunSpec) error {
+	// Reject anything the kernel would refuse before committing the
+	// 200: once the header is on the wire, errors can only surface as
+	// a missing summary line.
+	if err := sim.Validate(spec.Mix, spec.Platform, spec.Options); err != nil {
+		return badRequest("%v", err)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	flush() // commit the headers before the (possibly slow) design-time phase
+
+	var writeErr error
+	opt := spec.Options
+	opt.Observer = func(rec sim.IterationRecord) {
+		if writeErr != nil {
+			return
+		}
+		writeErr = enc.Encode(IterationWire{
+			Iteration:    rec.Iteration,
+			Instances:    rec.Instances,
+			MakespanMS:   rec.Makespan.Milliseconds(),
+			OverheadMS:   rec.Overhead.Milliseconds(),
+			Loads:        rec.Loads,
+			Reuses:       rec.Reuses,
+			DeadlineMiss: rec.DeadlineMiss,
+		})
+		flush()
+	}
+	res, err := s.eng.SimulateContext(r.Context(), spec.Mix, spec.Platform, opt)
+	if err != nil {
+		// The status is already on the wire; the missing summary line
+		// tells the client (instrument logs the late error).
+		return fmt.Errorf("simulate stream: %w", err)
+	}
+	if writeErr != nil {
+		return fmt.Errorf("simulate stream: writing iteration: %w", writeErr)
+	}
+	sum := SimulateSummary{Done: true, SimulateResponse: simulateResponse(spec.Name, spec.Platform.String(), res)}
+	sum.Cache = cacheWire(s.eng.CacheStats())
+	if err := enc.Encode(sum); err != nil {
+		return fmt.Errorf("simulate stream: writing summary: %w", err)
+	}
+	flush()
+	return nil
 }
 
 // SweepRequest is the /v1/sweep body: a base workload document plus the

@@ -16,7 +16,10 @@
 //	                   set, stored design-time schedule, cold-start
 //	                   overhead
 //	POST /v1/simulate  workload document (with platform + sim blocks) →
-//	                   full simulation aggregate
+//	                   full simulation aggregate with per-iteration tail
+//	                   percentiles; ?stream=iterations streams one
+//	                   NDJSON record per iteration, then the aggregate
+//	                   as a done=true summary line
 //	POST /v1/sweep     grid spec → NDJSON stream of per-cell results in
 //	                   completion order, then a summary line
 //	GET  /healthz      liveness

@@ -190,6 +190,173 @@ func TestSimulate(t *testing.T) {
 	}
 }
 
+func TestSimulateReportsTailPercentiles(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/simulate", simDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.MakespanP50MS <= 0 {
+		t.Fatalf("makespan P50 missing: %+v", sr)
+	}
+	if sr.MakespanP99MS < sr.MakespanP95MS || sr.MakespanP95MS < sr.MakespanP50MS {
+		t.Fatalf("makespan percentiles inverted: p50 %v p95 %v p99 %v",
+			sr.MakespanP50MS, sr.MakespanP95MS, sr.MakespanP99MS)
+	}
+	if sr.OverheadP99MS < sr.OverheadP50MS {
+		t.Fatalf("overhead percentiles inverted: %+v", sr)
+	}
+}
+
+func TestSimulateStreamIterations(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/simulate?stream=iterations", "application/json",
+		strings.NewReader(simDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var iterations []IterationWire
+	var summary *SimulateSummary
+	for sc.Scan() {
+		line := sc.Text()
+		if summary != nil {
+			t.Fatalf("line after the summary: %s", line)
+		}
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", line, err)
+		}
+		if probe.Done {
+			summary = &SimulateSummary{}
+			if err := json.Unmarshal([]byte(line), summary); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var iw IterationWire
+		if err := json.Unmarshal([]byte(line), &iw); err != nil {
+			t.Fatal(err)
+		}
+		iterations = append(iterations, iw)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(iterations) != 50 {
+		t.Fatalf("streamed %d iteration lines, want 50", len(iterations))
+	}
+	for i, iw := range iterations {
+		if iw.Iteration != i {
+			t.Fatalf("line %d carries iteration %d", i, iw.Iteration)
+		}
+		if iw.Instances <= 0 || iw.MakespanMS <= 0 {
+			t.Fatalf("empty iteration record: %+v", iw)
+		}
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a done=true summary line")
+	}
+	if summary.MakespanP50MS <= 0 || summary.MakespanP99MS < summary.MakespanP50MS {
+		t.Fatalf("summary tail percentiles missing or inverted: p50 %v p99 %v",
+			summary.MakespanP50MS, summary.MakespanP99MS)
+	}
+	if summary.OverheadP50MS < 0 || summary.OverheadP99MS < summary.OverheadP50MS {
+		t.Fatalf("summary overhead percentiles inverted: %+v", summary)
+	}
+	if summary.Instances <= 0 {
+		t.Fatalf("summary aggregate empty: %+v", summary)
+	}
+}
+
+func TestSimulateStreamUnknownMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/simulate?stream=bogus", simDoc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSimulateStreamRejectsInvalidRunBeforeHeaders(t *testing.T) {
+	// Kernel-level validation failures (here: a trace referencing a
+	// task the mix does not have) must become a 400, not a 200 with an
+	// empty body — once the NDJSON header is committed, errors can only
+	// surface as a missing summary line.
+	_, ts := newTestServer(t, Config{})
+	doc := strings.Replace(simDoc, `"seed": 1`,
+		`"seed": 1, "arrivals": {"process": "trace", "trace": [[7]]}`, 1)
+	resp, body := post(t, ts.URL+"/v1/simulate?stream=iterations", doc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "trace") {
+		t.Fatalf("error body does not name the problem: %s", body)
+	}
+}
+
+// arrivalsDoc pins a bursty on-off arrival block.
+const arrivalsDoc = `{
+  "name": "pipe",
+  "platform": {"tiles": 4},
+  "sim": {"approach": "hybrid", "iterations": 50, "seed": 1,
+          "arrivals": {"process": "onoff", "p_on": 0.95, "p_off": 0.1}},
+  "tasks": [{
+    "name": "pipe",
+    "scenarios": [{
+      "subtasks": [
+        {"name": "a", "exec_ms": 10},
+        {"name": "b", "exec_ms": 12},
+        {"name": "c", "exec_ms": 8}
+      ],
+      "edges": [{"from": 0, "to": 1}, {"from": 1, "to": 2}]
+    }]
+  }]
+}`
+
+func TestSimulateArrivalsBlock(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/simulate", arrivalsDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var onoff SimulateResponse
+	if err := json.Unmarshal([]byte(body), &onoff); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, ts.URL+"/v1/simulate", simDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var bern SimulateResponse
+	if err := json.Unmarshal([]byte(body), &bern); err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, different arrival process: the instance counts must
+	// diverge (on-off idles in off phases; bernoulli never idles).
+	if onoff.Instances == bern.Instances {
+		t.Fatalf("arrivals block ignored: both processes ran %d instances", onoff.Instances)
+	}
+	doc := strings.Replace(arrivalsDoc, `"onoff"`, `"psychic"`, 1)
+	resp, body = post(t, ts.URL+"/v1/simulate", doc)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown process: status = %d: %s", resp.StatusCode, body)
+	}
+}
+
 func TestSimulateUnknownApproach(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	doc := strings.Replace(simDoc, `"hybrid"`, `"psychic"`, 1)

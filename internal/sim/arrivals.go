@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arrivals is the workload-drawing seam of the simulation kernel: it
+// decides which applications of the mix arrive in each iteration and in
+// which order they run. The paper's §7 experiment is one fixed shape —
+// an independent Bernoulli draw per application — but conclusions about
+// reuse and replacement depend on the arrival pattern (bursty phases
+// keep working sets hot; trace replay pins a measured pattern), so the
+// process is pluggable.
+//
+// An Arrivals value is immutable configuration and safe to share across
+// concurrent runs (the engine reuses one value for every cell of a
+// sweep); all per-run state lives in the ArrivalSource created by
+// Start.
+type Arrivals interface {
+	// Name identifies the process on the wire (workload JSON, CLI).
+	Name() string
+	// Start validates the process against the mix size and returns a
+	// fresh per-run source. tasks is the number of applications in the
+	// mix (always ≥ 1).
+	Start(tasks int) (ArrivalSource, error)
+}
+
+// ArrivalSource produces one iteration's arrivals at a time. Sources
+// are stateful (Markov chains, trace cursors) and belong to exactly one
+// run.
+type ArrivalSource interface {
+	// Draw appends the iteration's task indices, in execution order, to
+	// dst (passed with length 0, reused across iterations) and returns
+	// the extended slice. rng is the run's seeded generator; a source
+	// must derive all randomness from it so runs stay reproducible. An
+	// empty result is an idle iteration.
+	Draw(rng *rand.Rand, dst []int) []int
+}
+
+// Bernoulli is the paper's §7 arrival process and the default: each
+// application appears independently with probability P, at least one
+// always runs, and the order is shuffled uniformly. The kernel's
+// RNG-consumption order matches the pre-kernel simulator draw for
+// draw, so fixed seeds reproduce historical aggregates bit for bit.
+type Bernoulli struct {
+	// P is the per-application inclusion probability; zero or negative
+	// means the paper's 0.8.
+	P float64
+}
+
+// Name implements Arrivals.
+func (Bernoulli) Name() string { return "bernoulli" }
+
+// Start implements Arrivals.
+func (b Bernoulli) Start(tasks int) (ArrivalSource, error) {
+	p := b.P
+	if p <= 0 {
+		p = 0.8
+	}
+	if p > 1 {
+		return nil, fmt.Errorf("sim: bernoulli arrival probability %v > 1", b.P)
+	}
+	return &bernoulliSource{p: p, tasks: tasks}, nil
+}
+
+type bernoulliSource struct {
+	p     float64
+	tasks int
+	buf   []int // shuffle target, aliased by the last Draw result
+}
+
+func (s *bernoulliSource) Draw(rng *rand.Rand, dst []int) []int {
+	for mi := 0; mi < s.tasks; mi++ {
+		if rng.Float64() < s.p {
+			dst = append(dst, mi)
+		}
+	}
+	if len(dst) == 0 {
+		dst = append(dst, rng.Intn(s.tasks))
+	}
+	s.buf = dst
+	rng.Shuffle(len(dst), s.swap)
+	return dst
+}
+
+// swap is a method value so Draw does not allocate a fresh closure per
+// iteration.
+func (s *bernoulliSource) swap(i, j int) { s.buf[i], s.buf[j] = s.buf[j], s.buf[i] }
+
+// OnOff is a bursty, Markov-modulated arrival process: a two-state
+// (on/off) chain modulates the per-application inclusion probability,
+// producing busy phases (large working sets, heavy port contention)
+// alternating with quiet phases (residency decays between bursts) —
+// the phase-varying workloads that flip reuse/replacement conclusions.
+//
+// Every field is literal — a zero probability means exactly zero (an
+// always-idle state, a transition that never fires) — so start from
+// DefaultOnOff for the tuned burst/gap shape and override from there.
+type OnOff struct {
+	// POn and POff are the per-application inclusion probabilities in
+	// the on and off states.
+	POn, POff float64
+	// OnToOff and OffToOn are the per-iteration transition
+	// probabilities.
+	OnToOff, OffToOn float64
+	// StartOff starts the chain in the off state.
+	StartOff bool
+}
+
+// DefaultOnOff is the tuned bursty process: saturated on-phases of
+// ≈10 iterations (POn 0.95, OnToOff 0.10) alternating with quiet gaps
+// of ≈4 (POff 0.15, OffToOn 0.25).
+var DefaultOnOff = OnOff{POn: 0.95, POff: 0.15, OnToOff: 0.10, OffToOn: 0.25}
+
+// Name implements Arrivals.
+func (OnOff) Name() string { return "onoff" }
+
+// Start implements Arrivals.
+func (o OnOff) Start(tasks int) (ArrivalSource, error) {
+	for _, p := range []float64{o.POn, o.POff, o.OnToOff, o.OffToOn} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("sim: on-off probability %v out of [0,1]", p)
+		}
+	}
+	return &onOffSource{
+		pOn:     o.POn,
+		pOff:    o.POff,
+		onToOff: o.OnToOff,
+		offToOn: o.OffToOn,
+		on:      !o.StartOff,
+		tasks:   tasks,
+	}, nil
+}
+
+type onOffSource struct {
+	pOn, pOff        float64
+	onToOff, offToOn float64
+	on               bool
+	tasks            int
+	buf              []int
+}
+
+func (s *onOffSource) Draw(rng *rand.Rand, dst []int) []int {
+	// Transition first, then draw under the new state's probability.
+	if s.on {
+		if rng.Float64() < s.onToOff {
+			s.on = false
+		}
+	} else {
+		if rng.Float64() < s.offToOn {
+			s.on = true
+		}
+	}
+	p := s.pOff
+	if s.on {
+		p = s.pOn
+	}
+	for mi := 0; mi < s.tasks; mi++ {
+		if rng.Float64() < p {
+			dst = append(dst, mi)
+		}
+	}
+	if len(dst) == 0 && s.on && p > 0 {
+		// Busy phases never idle (unless POn is literally zero); quiet
+		// phases may.
+		dst = append(dst, rng.Intn(s.tasks))
+	}
+	s.buf = dst
+	rng.Shuffle(len(dst), s.swap)
+	return dst
+}
+
+func (s *onOffSource) swap(i, j int) { s.buf[i], s.buf[j] = s.buf[j], s.buf[i] }
+
+// Trace replays a recorded arrival log: iteration i runs exactly the
+// task indices of entry i mod len(Iterations), in order. It consumes no
+// randomness (scenario draws still do), so a trace pins the arrival
+// pattern while the rest of the run stays seed-controlled. Empty
+// entries are idle iterations.
+type Trace struct {
+	Iterations [][]int
+}
+
+// Name implements Arrivals.
+func (Trace) Name() string { return "trace" }
+
+// Start implements Arrivals.
+func (t Trace) Start(tasks int) (ArrivalSource, error) {
+	if len(t.Iterations) == 0 {
+		return nil, fmt.Errorf("sim: empty arrival trace")
+	}
+	for i, entry := range t.Iterations {
+		for _, mi := range entry {
+			if mi < 0 || mi >= tasks {
+				return nil, fmt.Errorf("sim: arrival trace entry %d references task %d of %d", i, mi, tasks)
+			}
+		}
+	}
+	return &traceSource{entries: t.Iterations}, nil
+}
+
+type traceSource struct {
+	entries [][]int
+	pos     int
+}
+
+func (s *traceSource) Draw(_ *rand.Rand, dst []int) []int {
+	dst = append(dst, s.entries[s.pos]...)
+	s.pos++
+	if s.pos == len(s.entries) {
+		s.pos = 0
+	}
+	return dst
+}

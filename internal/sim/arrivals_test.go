@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+
+	"drhwsched/internal/platform"
+)
+
+// mixAB is a two-task mix for arrival-pattern tests.
+func mixAB() []TaskMix {
+	return []TaskMix{{Task: pipeline("a", 4)}, {Task: pipeline("b", 3)}}
+}
+
+func TestBernoulliArrivalsMatchDefault(t *testing.T) {
+	// An explicit Bernoulli process must reproduce the default path bit
+	// for bit — they share one RNG-consumption order.
+	p := platform.Default(4)
+	opt := Options{Approach: Hybrid, Iterations: 40, Seed: 5, InclusionProb: 0.7}
+	def, err := Run(mixAB(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Arrivals = Bernoulli{P: 0.7}
+	exp, err := Run(mixAB(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *def != *exp {
+		t.Fatalf("explicit Bernoulli diverged from the default path:\n%+v\n%+v", def, exp)
+	}
+}
+
+func TestOnOffArrivalsAreBurstyAndDeterministic(t *testing.T) {
+	p := platform.Default(4)
+	opt := Options{Approach: Hybrid, Iterations: 200, Seed: 5}
+	opt.Arrivals = OnOff{POn: 1.0, POff: 0.05, OnToOff: 0.1, OffToOn: 0.1}
+	var perIter []int
+	opt.Observer = func(rec IterationRecord) { perIter = append(perIter, rec.Instances) }
+	r1, err := Run(mixAB(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Observer = nil
+	r2, err := Run(mixAB(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r1 != *r2 {
+		t.Fatal("on-off arrivals not deterministic under a fixed seed")
+	}
+	// Bursty: both full-load iterations (on state, POn=1 ⇒ both tasks)
+	// and idle iterations (off state may draw nothing) must occur.
+	full, idle := 0, 0
+	for _, n := range perIter {
+		switch n {
+		case len(mixAB()):
+			full++
+		case 0:
+			idle++
+		}
+	}
+	if full == 0 || idle == 0 {
+		t.Fatalf("expected on-phases and idle off-phases, got %d full and %d idle of %d iterations", full, idle, len(perIter))
+	}
+}
+
+func TestTraceArrivalsReplayExactly(t *testing.T) {
+	p := platform.Default(4)
+	trace := [][]int{{0, 1}, {1}, {}, {0}}
+	opt := Options{Approach: Hybrid, Iterations: 8, Seed: 1, Arrivals: Trace{Iterations: trace}}
+	var perIter []int
+	opt.Observer = func(rec IterationRecord) { perIter = append(perIter, rec.Instances) }
+	r, err := Run(mixAB(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 0, 1, 2, 1, 0, 1} // the log wraps around
+	for i, n := range perIter {
+		if n != want[i] {
+			t.Fatalf("iteration %d ran %d instances, trace says %d (%v)", i, n, want[i], perIter)
+		}
+	}
+	if r.Instances != 8 {
+		t.Fatalf("total instances %d, want 8", r.Instances)
+	}
+}
+
+func TestArrivalValidation(t *testing.T) {
+	p := platform.Default(4)
+	cases := []struct {
+		name string
+		arr  Arrivals
+	}{
+		{"empty-trace", Trace{}},
+		{"trace-index-out-of-range", Trace{Iterations: [][]int{{0, 7}}}},
+		{"bernoulli-p-above-1", Bernoulli{P: 1.5}},
+		{"onoff-negative", OnOff{POn: -0.5}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Run(mixAB(), p, Options{Iterations: 2, Arrivals: c.arr}); err == nil {
+				t.Fatal("invalid arrival process silently accepted")
+			}
+		})
+	}
+}
+
+func TestObserverRecordsMatchAggregate(t *testing.T) {
+	p := platform.Default(4)
+	var recs []IterationRecord
+	opt := Options{Approach: Hybrid, Iterations: 30, Seed: 2}
+	opt.Observer = func(rec IterationRecord) { recs = append(recs, rec) }
+	r, err := Run(mixAB(), p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 30 {
+		t.Fatalf("observer saw %d records for %d iterations", len(recs), 30)
+	}
+	var loads, reuses, instances int
+	for i, rec := range recs {
+		if rec.Iteration != i {
+			t.Fatalf("record %d has iteration %d", i, rec.Iteration)
+		}
+		loads += rec.Loads
+		reuses += rec.Reuses
+		instances += rec.Instances
+	}
+	if loads != r.Loads || reuses != r.Reuses || instances != r.Instances {
+		t.Fatalf("record sums (loads %d, reuses %d, instances %d) disagree with aggregate (%d, %d, %d)",
+			loads, reuses, instances, r.Loads, r.Reuses, r.Instances)
+	}
+	if r.IterMakespan.P50 <= 0 || r.IterMakespan.P99 < r.IterMakespan.P50 {
+		t.Fatalf("makespan tail not populated or inverted: %+v", r.IterMakespan)
+	}
+	if r.IterOverhead.P99 < r.IterOverhead.P50 {
+		t.Fatalf("overhead tail inverted: %+v", r.IterOverhead)
+	}
+}

@@ -1,0 +1,41 @@
+// Benchmarks for the simulation hot path, in the external test package
+// so the built-in corpus of internal/workload can be imported without a
+// cycle (workload's library code imports sim).
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"drhwsched/internal/platform"
+	"drhwsched/internal/sim"
+	"drhwsched/internal/workload"
+)
+
+func benchMix() []sim.TaskMix {
+	var mix []sim.TaskMix
+	for _, app := range workload.Multimedia() {
+		mix = append(mix, sim.TaskMix{Task: app.Task, ScenarioWeights: app.ScenarioWeights})
+	}
+	return mix
+}
+
+// BenchmarkSimRun measures sim.Run on the built-in multimedia corpus.
+// Run with -benchmem: the staged kernel's scratch reuse shows up in the
+// allocs/op column (design-time preparation is amortized over the 100
+// simulated iterations, so the per-iteration loop dominates).
+func BenchmarkSimRun(b *testing.B) {
+	mix := benchMix()
+	p := platform.Default(8)
+	p.ISPs = 1
+	for _, ap := range []sim.Approach{sim.NoPrefetch, sim.RunTime, sim.Hybrid} {
+		b.Run(fmt.Sprint(ap), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(mix, p, sim.Options{Approach: ap, Iterations: 100, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

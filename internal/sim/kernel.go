@@ -1,0 +1,609 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/core"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/prefetch"
+	"drhwsched/internal/reconfig"
+	"drhwsched/internal/schedule"
+	"drhwsched/internal/stats"
+	"drhwsched/internal/tcm"
+)
+
+// The simulation kernel is staged: design-time preparation builds the
+// prepared-artifact tables once (newKernel); then every iteration runs
+// the same four stages — the arrival source draws the iteration's task
+// set and order, point selection picks one prepared artifact per
+// arrival (TCM energy-aware selection in deadline mode), instance
+// execution replays each artifact against the carried platform state,
+// and accounting folds the outcome into the aggregate, the streaming
+// tail estimators, and the optional Observer.
+//
+// All per-instance working memory lives in the kernel's scratch, so the
+// hot path performs no allocations after the first iteration warms the
+// buffers (BenchmarkSimRun tracks this).
+
+// kernel carries one run's state across the stages.
+type kernel struct {
+	mix    []TaskMix
+	p      platform.Platform
+	opt    Options
+	policy reconfig.Policy
+	rng    *rand.Rand
+	src    ArrivalSource
+	prep   [][]*scenPrep
+	res    *Result
+
+	state    *reconfig.State
+	physFree []model.Time
+	ispFree  []model.Time
+	clock    model.Time
+	portFree model.Time
+
+	useReuse  bool
+	interTask bool
+
+	mkQ *stats.Quantiles // per-iteration makespan tail (ms)
+	ovQ *stats.Quantiles // per-iteration overhead tail (ms)
+
+	sc scratch
+}
+
+// scratch is the per-run reusable working memory of the hot path: the
+// buffers the pre-kernel simulator allocated fresh for every task
+// instance (tile availability vectors, load sets, lookahead streams,
+// the residency map, the per-port floor vector) plus the scratches of
+// the layers below (tile mapping, prefetch evaluation, hybrid replay).
+type scratch struct {
+	todo      []int
+	instances []*prepared
+	curves    []*tcm.Curve
+	scens     []int
+	tileFree  []model.Time
+	ports     []model.Time
+	loads     []graph.SubtaskID
+	future    []graph.ConfigID
+	resident  map[graph.SubtaskID]bool
+	tileLast  []model.Time
+	inst      instance
+
+	mapSc  reconfig.MapScratch
+	pfSc   prefetch.Scratch
+	coreSc core.ExecScratch
+
+	// tl is the current instance's timeline; endOfFn reads it so the
+	// replacement state commit needs no per-instance closure.
+	tl          *schedule.Timeline
+	curAnalysis *core.Analysis
+	endOfFn     func(graph.SubtaskID) model.Time
+	criticalFn  func(graph.SubtaskID) bool
+	residentFn  func(graph.SubtaskID) bool
+}
+
+// validateWeights rejects degenerate scenario-weight vectors up front:
+// an all-zero or negative vector would silently bias drawScenario to
+// the last scenario.
+func validateWeights(mix []TaskMix) error {
+	for _, m := range mix {
+		w := m.ScenarioWeights
+		if w == nil {
+			continue
+		}
+		if len(w) != len(m.Task.Scenarios) {
+			return fmt.Errorf("sim: task %q has %d scenario weights for %d scenarios",
+				m.Task.Name, len(w), len(m.Task.Scenarios))
+		}
+		total := 0.0
+		for si, x := range w {
+			if x < 0 || math.IsNaN(x) {
+				return fmt.Errorf("sim: task %q scenario weight %d is %v (weights must be non-negative)",
+					m.Task.Name, si, x)
+			}
+			total += x
+		}
+		if total <= 0 {
+			return fmt.Errorf("sim: task %q scenario weights sum to %v (at least one must be positive)",
+				m.Task.Name, total)
+		}
+	}
+	return nil
+}
+
+// Validate reports the error a Run with these inputs would fail with
+// before any simulation work happens: platform validity, a non-empty
+// mix, degenerate scenario weights, and the arrival process (started
+// against the mix size). Streaming callers use it to reject a bad
+// request before committing a success status to the wire; Run performs
+// the same checks itself.
+func Validate(mix []TaskMix, p platform.Platform, opt Options) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if len(mix) == 0 {
+		return fmt.Errorf("sim: empty task mix")
+	}
+	if err := validateWeights(mix); err != nil {
+		return err
+	}
+	arrivals := opt.Arrivals
+	if arrivals == nil {
+		arrivals = Bernoulli{P: opt.InclusionProb}
+	}
+	_, err := arrivals.Start(len(mix))
+	return err
+}
+
+// newKernel validates the inputs, resolves defaults, and runs the
+// design-time preparation stage.
+func newKernel(mix []TaskMix, p platform.Platform, opt Options) (*kernel, error) {
+	// Validate is the single source of truth for what a run rejects —
+	// streaming servers rely on it matching this constructor exactly.
+	if err := Validate(mix, p, opt); err != nil {
+		return nil, err
+	}
+	if opt.Iterations <= 0 {
+		opt.Iterations = 1000
+	}
+	policy := opt.Policy
+	if policy == nil {
+		policy = reconfig.LRU{}
+	}
+	arrivals := opt.Arrivals
+	if arrivals == nil {
+		arrivals = Bernoulli{P: opt.InclusionProb}
+	}
+	src, err := arrivals.Start(len(mix))
+	if err != nil {
+		return nil, err
+	}
+	analyze := opt.Analyzer
+	if analyze == nil {
+		analyze = core.Analyze
+	}
+
+	k := &kernel{
+		mix:    mix,
+		p:      p,
+		opt:    opt,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(opt.Seed)),
+		src:    src,
+	}
+	k.useReuse = opt.Approach == RunTime || opt.Approach == RunTimeInterTask || opt.Approach == Hybrid
+	k.interTask = opt.Approach == RunTimeInterTask ||
+		(opt.Approach == Hybrid && !opt.DisableInterTask)
+	k.sc.endOfFn = func(id graph.SubtaskID) model.Time { return k.sc.tl.ExecEnd[id] }
+	k.sc.criticalFn = func(id graph.SubtaskID) bool { return k.sc.curAnalysis.IsCritical(id) }
+	k.sc.residentFn = func(id graph.SubtaskID) bool { return k.sc.resident[id] }
+
+	if err := k.prepare(analyze); err != nil {
+		return nil, err
+	}
+
+	k.state = reconfig.NewState(p.Tiles)
+	k.physFree = make([]model.Time, p.Tiles)
+	k.ispFree = make([]model.Time, p.ISPs)
+	k.mkQ = stats.NewQuantiles(0.5, 0.95, 0.99)
+	k.ovQ = stats.NewQuantiles(0.5, 0.95, 0.99)
+	return k, nil
+}
+
+// prepare is the design-time stage: schedule (and in deadline mode,
+// Pareto-explore) every (task, scenario) pair and build the prepared
+// artifacts every approach replays at run time.
+func (k *kernel) prepare(analyze AnalyzeFunc) error {
+	mix, p, opt := k.mix, k.p, k.opt
+	prep := make([][]*scenPrep, len(mix))
+	var critSum float64
+	var critN int
+	account := func(pr *prepared) {
+		if pr.analysis != nil {
+			critSum += pr.analysis.CriticalFraction()
+			critN++
+		}
+	}
+	if opt.Deadline > 0 {
+		// TCM mode: explore the Pareto curves once, prepare every
+		// selectable point.
+		tasks := make([]*tcm.Task, len(mix))
+		for mi := range mix {
+			tasks[mi] = mix[mi].Task
+		}
+		ds, err := tcm.DesignTime(tasks, p, tcm.DTOptions{Placement: assign.Spread})
+		if err != nil {
+			return fmt.Errorf("sim: TCM design time: %w", err)
+		}
+		for mi, m := range mix {
+			if err := k.canceled(); err != nil {
+				return fmt.Errorf("sim: canceled during design-time preparation: %w", err)
+			}
+			prep[mi] = make([]*scenPrep, len(m.Task.Scenarios))
+			for si := range m.Task.Scenarios {
+				curve := ds.Curve(mi, si)
+				sp := &scenPrep{curve: curve}
+				for _, pt := range curve.Points {
+					pr, err := makePrepared(pt.Sched, p, opt.Approach, analyze)
+					if err != nil {
+						return err
+					}
+					account(pr)
+					sp.points = append(sp.points, pr)
+				}
+				prep[mi][si] = sp
+			}
+		}
+	} else {
+		for mi, m := range mix {
+			if err := k.canceled(); err != nil {
+				return fmt.Errorf("sim: canceled during design-time preparation: %w", err)
+			}
+			prep[mi] = make([]*scenPrep, len(m.Task.Scenarios))
+			for si, g := range m.Task.Scenarios {
+				s, err := assign.List(g, p, assign.Options{Placement: assign.Spread})
+				if err != nil {
+					return fmt.Errorf("sim: scheduling %q: %w", g.Name, err)
+				}
+				pr, err := makePrepared(s, p, opt.Approach, analyze)
+				if err != nil {
+					return err
+				}
+				account(pr)
+				prep[mi][si] = &scenPrep{points: []*prepared{pr}}
+			}
+		}
+	}
+	k.prep = prep
+
+	k.res = &Result{Approach: opt.Approach, Tiles: p.Tiles, Iterations: opt.Iterations}
+	if critN > 0 {
+		k.res.CriticalPct = 100 * critSum / float64(critN)
+	}
+	return nil
+}
+
+func (k *kernel) canceled() error {
+	if k.opt.Context == nil {
+		return nil
+	}
+	return k.opt.Context.Err()
+}
+
+// run executes the per-iteration stages and finishes the aggregate.
+func (k *kernel) run() (*Result, error) {
+	for iter := 0; iter < k.opt.Iterations; iter++ {
+		if err := k.canceled(); err != nil {
+			return nil, fmt.Errorf("sim: canceled after %d of %d iterations: %w", iter, k.opt.Iterations, err)
+		}
+		// Stage 1: draw this iteration's application set and order (the
+		// TCM run-time scheduler identifies the current scenario of
+		// every running task before selecting points).
+		todo := k.src.Draw(k.rng, k.sc.todo[:0])
+		k.sc.todo = todo
+
+		// Stage 2: select one prepared artifact per arrival.
+		instances, miss, err := k.selectInstances(todo)
+		if err != nil {
+			return nil, err
+		}
+		if miss {
+			k.res.DeadlineMisses++
+		}
+
+		// Stage 3: execute the instances back to back.
+		clock0 := k.clock
+		loads0, reuses0 := k.res.Loads, k.res.Reuses
+		over0 := k.res.ActualTotal - k.res.IdealTotal
+		for seq := range instances {
+			if err := k.runInstance(instances[seq], instances[seq:]); err != nil {
+				return nil, err
+			}
+		}
+
+		// Stage 4: per-iteration accounting.
+		rec := IterationRecord{
+			Iteration:    iter,
+			Instances:    len(instances),
+			Makespan:     k.clock.Sub(clock0),
+			Overhead:     (k.res.ActualTotal - k.res.IdealTotal) - over0,
+			Loads:        k.res.Loads - loads0,
+			Reuses:       k.res.Reuses - reuses0,
+			DeadlineMiss: miss,
+		}
+		k.mkQ.Add(rec.Makespan.Milliseconds())
+		k.ovQ.Add(rec.Overhead.Milliseconds())
+		if k.opt.Observer != nil {
+			k.opt.Observer(rec)
+		}
+	}
+	return k.finish(), nil
+}
+
+// selectInstances is the point-selection stage: scenario draws plus, in
+// deadline mode, the TCM energy-aware Pareto point selection.
+func (k *kernel) selectInstances(todo []int) ([]*prepared, bool, error) {
+	sc := &k.sc
+	if cap(sc.instances) < len(todo) {
+		sc.instances = make([]*prepared, len(todo))
+	}
+	instances := sc.instances[:len(todo)]
+	if k.opt.Deadline <= 0 {
+		for i, mi := range todo {
+			si := drawScenario(k.rng, k.mix[mi])
+			instances[i] = k.prep[mi][si].points[0]
+		}
+		return instances, false, nil
+	}
+	if cap(sc.curves) < len(todo) {
+		sc.curves = make([]*tcm.Curve, len(todo))
+		sc.scens = make([]int, len(todo))
+	}
+	curves := sc.curves[:len(todo)]
+	scens := sc.scens[:len(todo)]
+	for i, mi := range todo {
+		scens[i] = drawScenario(k.rng, k.mix[mi])
+		curves[i] = k.prep[mi][scens[i]].curve
+	}
+	sel, err := tcm.Select(curves, k.opt.Deadline)
+	if err != nil {
+		// Even the fastest points miss: record it and degrade to the
+		// fastest combination.
+		for i, mi := range todo {
+			instances[i] = k.prep[mi][scens[i]].points[0]
+			k.res.PointEnergy += curves[i].Fastest().Energy
+		}
+		return instances, true, nil
+	}
+	for i := range sel {
+		instances[i] = k.prep[todo[i]][scens[i]].points[sel[i].Index]
+		k.res.PointEnergy += sel[i].Point.Energy
+	}
+	return instances, false, nil
+}
+
+// runInstance is the instance-execution stage: reuse + replacement
+// around one prepared artifact, then state advance and accounting.
+// upcoming is the remaining instances of this iteration (this one
+// first) for lookahead policies.
+func (k *kernel) runInstance(pr *prepared, upcoming []*prepared) error {
+	sc := &k.sc
+	res := k.res
+	s := pr.sched
+
+	// Model the run-time scheduler's own CPU cost.
+	if k.opt.SchedulerCost {
+		cost := schedulerCost(k.opt.Approach, s.G.Len())
+		res.SchedCost += cost
+		k.clock = k.clock.Add(cost)
+	}
+
+	// Reuse + replacement modules (virtual -> physical).
+	var critical func(graph.SubtaskID) bool
+	if pr.analysis != nil {
+		sc.curAnalysis = pr.analysis
+		critical = sc.criticalFn
+	}
+	var future []graph.ConfigID
+	if k.opt.Lookahead {
+		future = sc.future[:0]
+		for _, up := range upcoming {
+			for _, id := range up.sched.AllLoads() {
+				future = append(future, up.sched.G.Subtask(id).Config)
+			}
+		}
+		sc.future = future
+	}
+	mapping, err := reconfig.MapInto(s, k.state, reconfig.MapOptions{
+		Policy: k.policy, Critical: critical, Future: future,
+	}, &sc.mapSc)
+	if err != nil {
+		return err
+	}
+	var resident map[graph.SubtaskID]bool
+	if k.useReuse {
+		sc.resident = reconfig.ResidentInto(sc.resident, s, k.state, mapping)
+		resident = sc.resident
+	}
+
+	taskStart := k.clock
+	loadFloor := taskStart
+	if k.interTask {
+		loadFloor = model.MinT(k.portFree, taskStart)
+	}
+	rows := len(s.TileOrder)
+	if cap(sc.tileFree) < rows {
+		sc.tileFree = make([]model.Time, rows)
+	}
+	tileFree := sc.tileFree[:rows]
+	for v := 0; v < s.Tiles; v++ {
+		tileFree[v] = k.physFree[mapping.PhysOf[v]]
+	}
+	for v := s.Tiles; v < rows; v++ {
+		tileFree[v] = k.ispFree[v-s.Tiles]
+	}
+	portFloor := model.MaxT(k.portFree, loadFloor)
+
+	inst, err := k.execute(pr, bounds{
+		taskStart: taskStart,
+		loadFloor: loadFloor,
+		portFree:  portFloor,
+		tileFree:  tileFree,
+	}, resident)
+	if err != nil {
+		return fmt.Errorf("sim: executing %q: %w", s.G.Name, err)
+	}
+
+	// Account. Reuse and load statistics are relative to the hardware
+	// (loadable) subtasks.
+	res.Instances++
+	res.Subtasks += pr.hw
+	res.IdealTotal += inst.ideal
+	res.ActualTotal += inst.ideal + inst.overhead
+	res.Loads += inst.loads
+	res.InitLoads += inst.initLoads
+	res.Reuses += len(resident)
+	res.Cancelled += inst.cancelled
+	res.LoadEnergy += float64(inst.loads) * k.p.LoadEnergy
+	res.SavedLoads += pr.hw - inst.loads
+
+	// Advance platform state.
+	k.clock = inst.end
+	k.portFree = inst.portFreeAfter
+	for v := 0; v < s.Tiles; v++ {
+		if t := inst.tileLast[v]; t > k.physFree[mapping.PhysOf[v]] {
+			k.physFree[mapping.PhysOf[v]] = t
+		}
+	}
+	for v := s.Tiles; v < rows; v++ {
+		if t := inst.tileLast[v]; t > k.ispFree[v-s.Tiles] {
+			k.ispFree[v-s.Tiles] = t
+		}
+	}
+	if k.useReuse {
+		reconfig.Commit(s, k.state, mapping, resident, sc.endOfFn)
+	}
+	return nil
+}
+
+// execute replays one prepared artifact under the selected approach,
+// writing into the scratch instance.
+func (k *kernel) execute(pr *prepared, b bounds, resident map[graph.SubtaskID]bool) (*instance, error) {
+	sc := &k.sc
+	s := pr.sched
+	if cap(sc.ports) < k.p.Ports {
+		sc.ports = make([]model.Time, k.p.Ports)
+	}
+	ports := sc.ports[:k.p.Ports]
+	for i := range ports {
+		ports[i] = b.portFree
+	}
+	pb := prefetch.Bounds{
+		ExecFloor: b.taskStart,
+		LoadFloor: b.loadFloor,
+		TileFree:  b.tileFree,
+		PortFree:  ports,
+	}
+
+	inst := &sc.inst
+	switch k.opt.Approach {
+	case Hybrid:
+		var fn func(graph.SubtaskID) bool
+		if resident != nil {
+			fn = sc.residentFn
+		}
+		r, err := pr.analysis.ExecuteScratch(core.RunBounds{
+			TaskStart: b.taskStart,
+			PortFree:  b.portFree,
+			TileFree:  b.tileFree,
+		}, fn, &sc.coreSc)
+		if err != nil {
+			return nil, err
+		}
+		*inst = instance{
+			ideal:         r.Ideal,
+			overhead:      r.Overhead,
+			end:           r.Timeline.End,
+			portFreeAfter: r.PortFreeAfter,
+			loads:         len(r.Plan.InitLoads) + len(r.Plan.BodyLoads),
+			initLoads:     len(r.Plan.InitLoads),
+			cancelled:     len(r.Plan.Cancelled),
+		}
+		inst.tileLast = sc.tileLastFrom(s, r.Timeline)
+		for _, w := range r.InitWindows {
+			v := s.Assignment[w.Subtask]
+			if w.End > inst.tileLast[v] {
+				inst.tileLast[v] = w.End
+			}
+		}
+		sc.tl = r.Timeline
+		return inst, nil
+
+	case NoPrefetch, DesignTimePrefetch, RunTime, RunTimeInterTask:
+		loads := sc.loads[:0]
+		for i := 0; i < s.G.Len(); i++ {
+			id := graph.SubtaskID(i)
+			if !resident[id] && !s.G.Subtask(id).OnISP {
+				loads = append(loads, id)
+			}
+		}
+		s.SortByIdealStart(loads)
+		sc.loads = loads
+		var r *prefetch.Result
+		var err error
+		switch k.opt.Approach {
+		case NoPrefetch:
+			r, err = (prefetch.OnDemand{}).ScheduleScratch(s, k.p, loads, pb, &sc.pfSc)
+		case DesignTimePrefetch:
+			r, err = prefetch.EvaluateScratch(s, k.p, pr.dtOrder, pb, false, &sc.pfSc)
+		default:
+			r, err = (prefetch.List{}).ScheduleScratch(s, k.p, loads, pb, &sc.pfSc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		*inst = instance{
+			ideal:         r.Ideal,
+			overhead:      r.Overhead,
+			end:           r.Timeline.End,
+			portFreeAfter: r.Timeline.PortFreeAfter[0],
+			loads:         len(r.PortOrder),
+		}
+		inst.tileLast = sc.tileLastFrom(s, r.Timeline)
+		sc.tl = r.Timeline
+		return inst, nil
+	}
+	return nil, fmt.Errorf("sim: unknown approach %v", k.opt.Approach)
+}
+
+// tileLastFrom finds each processor row's last activity (the end of its
+// final execution or load) in the scratch buffer, so availability can
+// be carried to the next instance.
+func (sc *scratch) tileLastFrom(s *assign.Schedule, tl *schedule.Timeline) []model.Time {
+	rows := len(s.TileOrder)
+	if cap(sc.tileLast) < rows {
+		sc.tileLast = make([]model.Time, rows)
+	}
+	last := sc.tileLast[:rows]
+	for v := range last {
+		last[v] = 0
+	}
+	for v := range s.TileOrder {
+		for _, id := range s.TileOrder[v] {
+			if tl.ExecEnd[id] > last[v] {
+				last[v] = tl.ExecEnd[id]
+			}
+			if tl.LoadEnd[id] != schedule.NoEvent && tl.LoadEnd[id] > last[v] {
+				last[v] = tl.LoadEnd[id]
+			}
+		}
+	}
+	return last
+}
+
+// finish folds the tail estimators into the aggregate.
+func (k *kernel) finish() *Result {
+	res := k.res
+	if res.IdealTotal > 0 {
+		res.OverheadPct = model.Pct(res.ActualTotal-res.IdealTotal, res.IdealTotal)
+	}
+	if res.Subtasks > 0 {
+		res.ReusePct = 100 * float64(res.Reuses) / float64(res.Subtasks)
+	}
+	res.IterMakespan = Tail{
+		P50: k.mkQ.Quantile(0.5),
+		P95: k.mkQ.Quantile(0.95),
+		P99: k.mkQ.Quantile(0.99),
+	}
+	res.IterOverhead = Tail{
+		P50: k.ovQ.Quantile(0.5),
+		P95: k.ovQ.Quantile(0.95),
+		P99: k.ovQ.Quantile(0.99),
+	}
+	return res
+}

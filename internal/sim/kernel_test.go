@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/tcm"
+)
+
+// multiScenarioTask builds a task with n one-subtask scenarios of
+// distinct lengths.
+func multiScenarioTask(n int) *tcm.Task {
+	var gs []*graph.Graph
+	for i := 0; i < n; i++ {
+		g := graph.New("s")
+		g.AddConfigured("x", model.Dur(10+i)*model.Millisecond, "cfg/x")
+		gs = append(gs, g)
+	}
+	return tcm.NewTask("multi", gs...)
+}
+
+func TestDrawScenarioWeightedChiSquared(t *testing.T) {
+	// Weighted sampling sanity: 10k draws under weights 1:2:3:4 with a
+	// fixed seed must match the expected distribution under a χ² test
+	// (df=3; 16.27 is the 0.1% critical value — and the draw sequence
+	// is deterministic under the seed, so this cannot flake).
+	weights := []float64{1, 2, 3, 4}
+	m := TaskMix{Task: multiScenarioTask(len(weights)), ScenarioWeights: weights}
+	rng := rand.New(rand.NewSource(99))
+	const draws = 10000
+	counts := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[drawScenario(rng, m)]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	chi2 := 0.0
+	for i, w := range weights {
+		exp := draws * w / total
+		d := counts[i] - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 16.27 {
+		t.Fatalf("χ² = %.2f > 16.27: weighted sampling does not match weights (counts %v)", chi2, counts)
+	}
+	// Uniform draws must also cover every scenario.
+	uni := TaskMix{Task: multiScenarioTask(4)}
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[drawScenario(rng, uni)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("uniform draw covered %d of 4 scenarios", len(seen))
+	}
+}
+
+func TestDegenerateScenarioWeightsRejected(t *testing.T) {
+	p := platform.Default(2)
+	cases := []struct {
+		name    string
+		weights []float64
+		errPart string
+	}{
+		{"all-zero", []float64{0, 0, 0}, "at least one must be positive"},
+		{"negative", []float64{1, -2, 1}, "must be non-negative"},
+		{"mismatch", []float64{1, 1}, "weights for"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mix := []TaskMix{{Task: multiScenarioTask(3), ScenarioWeights: c.weights}}
+			_, err := Run(mix, p, Options{Approach: NoPrefetch, Iterations: 2})
+			if err == nil {
+				t.Fatalf("weights %v silently accepted", c.weights)
+			}
+			if !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("error %q does not explain the problem (want %q)", err, c.errPart)
+			}
+		})
+	}
+	// Valid weights keep working.
+	mix := []TaskMix{{Task: multiScenarioTask(3), ScenarioWeights: []float64{0, 1, 0}}}
+	if _, err := Run(mix, p, Options{Approach: NoPrefetch, Iterations: 2}); err != nil {
+		t.Fatalf("valid weights rejected: %v", err)
+	}
+}
+
+func TestSchedulerCostFloorsAndMonotonicity(t *testing.T) {
+	// Floors: tiny graphs still pay the minimum modelled cost.
+	for _, n := range []int{0, 1, 2} {
+		if c := schedulerCost(RunTime, n); c < 2*model.Microsecond {
+			t.Fatalf("run-time cost(%d) = %v below the 2µs floor", n, c)
+		}
+		if c := schedulerCost(Hybrid, n); c < model.Microsecond {
+			t.Fatalf("hybrid cost(%d) = %v below the 1µs floor", n, c)
+		}
+	}
+	// The design-time-only flows model no run-time scheduling cost.
+	for _, ap := range []Approach{NoPrefetch, DesignTimePrefetch} {
+		if c := schedulerCost(ap, 50); c != 0 {
+			t.Fatalf("%v cost = %v, want 0", ap, c)
+		}
+	}
+	// Monotonicity in the subtask count, and the hybrid run-time phase
+	// never costs more than the [7] heuristic (the paper's point).
+	for _, ap := range []Approach{RunTime, RunTimeInterTask, Hybrid} {
+		prev := model.Dur(-1)
+		for n := 2; n <= 200; n++ {
+			c := schedulerCost(ap, n)
+			if c < prev {
+				t.Fatalf("%v cost not monotone: cost(%d)=%v < cost(%d)=%v", ap, n, c, n-1, prev)
+			}
+			prev = c
+		}
+	}
+	for n := 2; n <= 200; n++ {
+		if schedulerCost(Hybrid, n) > schedulerCost(RunTime, n) {
+			t.Fatalf("hybrid cost(%d) exceeds run-time cost", n)
+		}
+	}
+}

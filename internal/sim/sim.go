@@ -6,6 +6,12 @@
 // so the reuse, prefetch and replacement modules interact exactly as
 // they do in the TCM run-time flow of Fig. 2.
 //
+// The simulator is a staged kernel (see kernel.go): design-time
+// preparation, then per iteration a pluggable arrival draw (Arrivals),
+// Pareto point selection, instance execution on reusable scratch
+// buffers, and accounting that feeds streaming tail estimators and an
+// optional per-iteration Observer.
+//
 // Five scheduling approaches are selectable, matching the five
 // simulations of §7:
 //
@@ -33,7 +39,6 @@ import (
 	"drhwsched/internal/platform"
 	"drhwsched/internal/prefetch"
 	"drhwsched/internal/reconfig"
-	"drhwsched/internal/schedule"
 	"drhwsched/internal/tcm"
 )
 
@@ -71,7 +76,9 @@ func (a Approach) String() string {
 type TaskMix struct {
 	Task *tcm.Task
 	// ScenarioWeights biases the per-instance scenario draw (e.g. the
-	// MPEG frame-type mix). Nil means uniform.
+	// MPEG frame-type mix). Nil means uniform. Non-nil weights must
+	// match the scenario count, be non-negative, and sum to a positive
+	// total; Run rejects degenerate vectors up front.
 	ScenarioWeights []float64
 }
 
@@ -88,8 +95,18 @@ type Options struct {
 	Lookahead bool
 	// InclusionProb is the chance each application appears in an
 	// iteration ("the applications executed during each iteration vary
-	// randomly"); zero means 0.8. At least one always runs.
+	// randomly"); zero means 0.8. At least one always runs. It
+	// parameterizes the default Bernoulli process and is ignored when
+	// Arrivals is set.
 	InclusionProb float64
+	// Arrivals selects the workload arrival process: nil means the
+	// paper's Bernoulli draw (under InclusionProb). OnOff produces
+	// bursty Markov-modulated phases; Trace replays a recorded log.
+	Arrivals Arrivals
+	// Observer, when non-nil, receives one IterationRecord per
+	// iteration, synchronously and in order. Observation never alters
+	// results.
+	Observer Observer
 	// DisableInterTask turns the inter-task optimization off for the
 	// Hybrid approach (ablation A2). RunTime/RunTimeInterTask are
 	// distinct approaches already.
@@ -146,6 +163,13 @@ type Result struct {
 	ReusePct   float64
 	LoadEnergy float64 // mJ spent reconfiguring
 	SavedLoads int     // loads avoided vs. loading everything
+
+	// IterMakespan and IterOverhead summarize the per-iteration
+	// makespan and reconfiguration-overhead distributions (streaming
+	// P50/P95/P99, milliseconds) — the tail behaviour a mean cannot
+	// show.
+	IterMakespan Tail
+	IterOverhead Tail
 
 	// CriticalPct is the average share of critical subtasks across the
 	// analyses used (meaningful for Hybrid only).
@@ -221,254 +245,11 @@ func makePrepared(s *assign.Schedule, p platform.Platform, approach Approach, an
 
 // Run simulates the mix under the options and returns the aggregate.
 func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	k, err := newKernel(mix, p, opt)
+	if err != nil {
 		return nil, err
 	}
-	if len(mix) == 0 {
-		return nil, fmt.Errorf("sim: empty task mix")
-	}
-	if opt.Iterations <= 0 {
-		opt.Iterations = 1000
-	}
-	inclusion := opt.InclusionProb
-	if inclusion <= 0 {
-		inclusion = 0.8
-	}
-	policy := opt.Policy
-	if policy == nil {
-		policy = reconfig.LRU{}
-	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	analyze := opt.Analyzer
-	if analyze == nil {
-		analyze = core.Analyze
-	}
-	canceled := func() error {
-		if opt.Context == nil {
-			return nil
-		}
-		return opt.Context.Err()
-	}
-
-	// Design-time preparation.
-	prep := make([][]*scenPrep, len(mix))
-	var critSum float64
-	var critN int
-	account := func(pr *prepared) {
-		if pr.analysis != nil {
-			critSum += pr.analysis.CriticalFraction()
-			critN++
-		}
-	}
-	if opt.Deadline > 0 {
-		// TCM mode: explore the Pareto curves once, prepare every
-		// selectable point.
-		tasks := make([]*tcm.Task, len(mix))
-		for mi := range mix {
-			tasks[mi] = mix[mi].Task
-		}
-		ds, err := tcm.DesignTime(tasks, p, tcm.DTOptions{Placement: assign.Spread})
-		if err != nil {
-			return nil, fmt.Errorf("sim: TCM design time: %w", err)
-		}
-		for mi, m := range mix {
-			if err := canceled(); err != nil {
-				return nil, fmt.Errorf("sim: canceled during design-time preparation: %w", err)
-			}
-			prep[mi] = make([]*scenPrep, len(m.Task.Scenarios))
-			for si := range m.Task.Scenarios {
-				curve := ds.Curve(mi, si)
-				sp := &scenPrep{curve: curve}
-				for _, pt := range curve.Points {
-					pr, err := makePrepared(pt.Sched, p, opt.Approach, analyze)
-					if err != nil {
-						return nil, err
-					}
-					account(pr)
-					sp.points = append(sp.points, pr)
-				}
-				prep[mi][si] = sp
-			}
-		}
-	} else {
-		for mi, m := range mix {
-			if err := canceled(); err != nil {
-				return nil, fmt.Errorf("sim: canceled during design-time preparation: %w", err)
-			}
-			prep[mi] = make([]*scenPrep, len(m.Task.Scenarios))
-			for si, g := range m.Task.Scenarios {
-				s, err := assign.List(g, p, assign.Options{Placement: assign.Spread})
-				if err != nil {
-					return nil, fmt.Errorf("sim: scheduling %q: %w", g.Name, err)
-				}
-				pr, err := makePrepared(s, p, opt.Approach, analyze)
-				if err != nil {
-					return nil, err
-				}
-				account(pr)
-				prep[mi][si] = &scenPrep{points: []*prepared{pr}}
-			}
-		}
-	}
-
-	res := &Result{Approach: opt.Approach, Tiles: p.Tiles, Iterations: opt.Iterations}
-	if critN > 0 {
-		res.CriticalPct = 100 * critSum / float64(critN)
-	}
-
-	state := reconfig.NewState(p.Tiles)
-	physFree := make([]model.Time, p.Tiles)
-	ispFree := make([]model.Time, p.ISPs)
-	var clock, portFree model.Time
-
-	useReuse := opt.Approach == RunTime || opt.Approach == RunTimeInterTask || opt.Approach == Hybrid
-	interTask := opt.Approach == RunTimeInterTask ||
-		(opt.Approach == Hybrid && !opt.DisableInterTask)
-
-	for iter := 0; iter < opt.Iterations; iter++ {
-		if err := canceled(); err != nil {
-			return nil, fmt.Errorf("sim: canceled after %d of %d iterations: %w", iter, opt.Iterations, err)
-		}
-		// Draw this iteration's application set, order, and scenarios
-		// (the TCM run-time scheduler identifies the current scenario
-		// of every running task before selecting points).
-		var todo []int
-		for mi := range mix {
-			if rng.Float64() < inclusion {
-				todo = append(todo, mi)
-			}
-		}
-		if len(todo) == 0 {
-			todo = append(todo, rng.Intn(len(mix)))
-		}
-		rng.Shuffle(len(todo), func(i, j int) { todo[i], todo[j] = todo[j], todo[i] })
-
-		instances := make([]*prepared, len(todo))
-		if opt.Deadline > 0 {
-			curves := make([]*tcm.Curve, len(todo))
-			scens := make([]int, len(todo))
-			for k, mi := range todo {
-				scens[k] = drawScenario(rng, mix[mi])
-				curves[k] = prep[mi][scens[k]].curve
-			}
-			sel, err := tcm.Select(curves, opt.Deadline)
-			if err != nil {
-				// Even the fastest points miss: record it and degrade
-				// to the fastest combination.
-				res.DeadlineMisses++
-				for k, mi := range todo {
-					instances[k] = prep[mi][scens[k]].points[0]
-					res.PointEnergy += curves[k].Fastest().Energy
-				}
-			} else {
-				for k := range sel {
-					idx := pointIndex(curves[k], sel[k].Point)
-					instances[k] = prep[todo[k]][scens[k]].points[idx]
-					res.PointEnergy += sel[k].Point.Energy
-				}
-			}
-		} else {
-			for k, mi := range todo {
-				si := drawScenario(rng, mix[mi])
-				instances[k] = prep[mi][si].points[0]
-			}
-		}
-
-		for seq := range todo {
-			pr := instances[seq]
-			s := pr.sched
-
-			// Model the run-time scheduler's own CPU cost.
-			if opt.SchedulerCost {
-				cost := schedulerCost(opt.Approach, s.G.Len())
-				res.SchedCost += cost
-				clock = clock.Add(cost)
-			}
-
-			// Reuse + replacement modules (virtual -> physical).
-			var critical func(graph.SubtaskID) bool
-			if pr.analysis != nil {
-				critical = pr.analysis.IsCritical
-			}
-			var future []graph.ConfigID
-			if opt.Lookahead {
-				future = upcomingConfigs(instances[seq:])
-			}
-			mapping, err := reconfig.Map(s, state, reconfig.MapOptions{
-				Policy: policy, Critical: critical, Future: future,
-			})
-			if err != nil {
-				return nil, err
-			}
-			var resident map[graph.SubtaskID]bool
-			if useReuse {
-				resident = reconfig.Resident(s, state, mapping)
-			}
-
-			taskStart := clock
-			loadFloor := taskStart
-			if interTask {
-				loadFloor = model.MinT(portFree, taskStart)
-			}
-			rows := len(s.TileOrder)
-			tileFree := make([]model.Time, rows)
-			for v := 0; v < s.Tiles; v++ {
-				tileFree[v] = physFree[mapping.PhysOf[v]]
-			}
-			for v := s.Tiles; v < rows; v++ {
-				tileFree[v] = ispFree[v-s.Tiles]
-			}
-			portFloor := model.MaxT(portFree, loadFloor)
-
-			inst, err := execute(pr, p, opt.Approach, bounds{
-				taskStart: taskStart,
-				loadFloor: loadFloor,
-				portFree:  portFloor,
-				tileFree:  tileFree,
-			}, resident)
-			if err != nil {
-				return nil, fmt.Errorf("sim: executing %q: %w", s.G.Name, err)
-			}
-
-			// Account. Reuse and load statistics are relative to the
-			// hardware (loadable) subtasks.
-			res.Instances++
-			res.Subtasks += pr.hw
-			res.IdealTotal += inst.ideal
-			res.ActualTotal += inst.ideal + inst.overhead
-			res.Loads += inst.loads
-			res.InitLoads += inst.initLoads
-			res.Reuses += len(resident)
-			res.Cancelled += inst.cancelled
-			res.LoadEnergy += float64(inst.loads) * p.LoadEnergy
-			res.SavedLoads += pr.hw - inst.loads
-
-			// Advance platform state.
-			clock = inst.end
-			portFree = inst.portFreeAfter
-			for v := 0; v < s.Tiles; v++ {
-				if t := inst.tileLast[v]; t > physFree[mapping.PhysOf[v]] {
-					physFree[mapping.PhysOf[v]] = t
-				}
-			}
-			for v := s.Tiles; v < rows; v++ {
-				if t := inst.tileLast[v]; t > ispFree[v-s.Tiles] {
-					ispFree[v-s.Tiles] = t
-				}
-			}
-			if useReuse {
-				reconfig.Commit(s, state, mapping, resident, inst.endOf)
-			}
-		}
-	}
-
-	if res.IdealTotal > 0 {
-		res.OverheadPct = model.Pct(res.ActualTotal-res.IdealTotal, res.IdealTotal)
-	}
-	if res.Subtasks > 0 {
-		res.ReusePct = 100 * float64(res.Reuses) / float64(res.Subtasks)
-	}
-	return res, nil
+	return k.run()
 }
 
 // bounds carries one instance's boundary conditions in virtual space.
@@ -489,126 +270,10 @@ type instance struct {
 	initLoads     int
 	cancelled     int
 	tileLast      []model.Time // per virtual tile, last activity end
-	endOf         func(graph.SubtaskID) model.Time
 }
 
-// execute runs one task arrival under the selected approach.
-func execute(pr *prepared, p platform.Platform, ap Approach, b bounds, resident map[graph.SubtaskID]bool) (*instance, error) {
-	s := pr.sched
-	pb := prefetch.Bounds{
-		ExecFloor: b.taskStart,
-		LoadFloor: b.loadFloor,
-		TileFree:  b.tileFree,
-		PortFree:  portVec(p, b.portFree),
-	}
-
-	switch ap {
-	case Hybrid:
-		var fn func(graph.SubtaskID) bool
-		if resident != nil {
-			fn = func(id graph.SubtaskID) bool { return resident[id] }
-		}
-		r, err := pr.analysis.Execute(core.RunBounds{
-			TaskStart: b.taskStart,
-			PortFree:  b.portFree,
-			TileFree:  b.tileFree,
-		}, fn)
-		if err != nil {
-			return nil, err
-		}
-		inst := &instance{
-			ideal:         r.Ideal,
-			overhead:      r.Overhead,
-			end:           r.Timeline.End,
-			portFreeAfter: r.PortFreeAfter,
-			loads:         len(r.Plan.InitLoads) + len(r.Plan.BodyLoads),
-			initLoads:     len(r.Plan.InitLoads),
-			cancelled:     len(r.Plan.Cancelled),
-		}
-		inst.tileLast = tileLastFromTimeline(s, r.Timeline)
-		for _, w := range r.InitWindows {
-			v := s.Assignment[w.Subtask]
-			if w.End > inst.tileLast[v] {
-				inst.tileLast[v] = w.End
-			}
-		}
-		tl := r.Timeline
-		inst.endOf = func(id graph.SubtaskID) model.Time { return tl.ExecEnd[id] }
-		return inst, nil
-
-	case NoPrefetch, DesignTimePrefetch, RunTime, RunTimeInterTask:
-		loads := loadSet(s, resident)
-		var r *prefetch.Result
-		var err error
-		switch ap {
-		case NoPrefetch:
-			r, err = (prefetch.OnDemand{}).Schedule(s, p, loads, pb)
-		case DesignTimePrefetch:
-			r, err = prefetch.Evaluate(s, p, pr.dtOrder, pb, false)
-		default:
-			r, err = (prefetch.List{}).Schedule(s, p, loads, pb)
-		}
-		if err != nil {
-			return nil, err
-		}
-		inst := &instance{
-			ideal:         r.Ideal,
-			overhead:      r.Overhead,
-			end:           r.Timeline.End,
-			portFreeAfter: r.Timeline.PortFreeAfter[0],
-			loads:         len(r.PortOrder),
-		}
-		inst.tileLast = tileLastFromTimeline(s, r.Timeline)
-		tl := r.Timeline
-		inst.endOf = func(id graph.SubtaskID) model.Time { return tl.ExecEnd[id] }
-		return inst, nil
-	}
-	return nil, fmt.Errorf("sim: unknown approach %v", ap)
-}
-
-// loadSet lists the loads needed given residency, in canonical order.
-// ISP subtasks never load.
-func loadSet(s *assign.Schedule, resident map[graph.SubtaskID]bool) []graph.SubtaskID {
-	var loads []graph.SubtaskID
-	for i := 0; i < s.G.Len(); i++ {
-		id := graph.SubtaskID(i)
-		if !resident[id] && !s.G.Subtask(id).OnISP {
-			loads = append(loads, id)
-		}
-	}
-	s.SortByIdealStart(loads)
-	return loads
-}
-
-// portVec replicates the scalar port-free instant over the platform's
-// reconfiguration controllers.
-func portVec(p platform.Platform, t model.Time) []model.Time {
-	v := make([]model.Time, p.Ports)
-	for i := range v {
-		v[i] = t
-	}
-	return v
-}
-
-// tileLastFromTimeline finds each processor row's last activity (the
-// end of its final execution or load) so availability can be carried to
-// the next instance.
-func tileLastFromTimeline(s *assign.Schedule, tl *schedule.Timeline) []model.Time {
-	last := make([]model.Time, len(s.TileOrder))
-	for v := range s.TileOrder {
-		for _, id := range s.TileOrder[v] {
-			if tl.ExecEnd[id] > last[v] {
-				last[v] = tl.ExecEnd[id]
-			}
-			if tl.LoadEnd[id] != schedule.NoEvent && tl.LoadEnd[id] > last[v] {
-				last[v] = tl.LoadEnd[id]
-			}
-		}
-	}
-	return last
-}
-
-// drawScenario samples a scenario index under the mix's weights.
+// drawScenario samples a scenario index under the mix's weights (which
+// Run has already validated as non-degenerate).
 func drawScenario(rng *rand.Rand, m TaskMix) int {
 	n := len(m.Task.Scenarios)
 	if n == 1 {
@@ -629,29 +294,6 @@ func drawScenario(rng *rand.Rand, m TaskMix) int {
 		}
 	}
 	return n - 1
-}
-
-// upcomingConfigs flattens the configuration stream of the remaining
-// instances of this iteration (nearest first) for lookahead policies.
-func upcomingConfigs(upcoming []*prepared) []graph.ConfigID {
-	var out []graph.ConfigID
-	for _, pr := range upcoming {
-		s := pr.sched
-		for _, id := range s.AllLoads() {
-			out = append(out, s.G.Subtask(id).Config)
-		}
-	}
-	return out
-}
-
-// pointIndex locates a selected Pareto point on its curve.
-func pointIndex(c *tcm.Curve, pt *tcm.ParetoPoint) int {
-	for i, p := range c.Points {
-		if p == pt {
-			return i
-		}
-	}
-	return 0
 }
 
 // schedulerCost models the CPU time of the run-time scheduling

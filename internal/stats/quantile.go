@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantiles estimates a fixed set of quantiles of a stream in O(1)
+// memory per target using the P² algorithm (Jain & Chlamtac, CACM
+// 1985). The simulator feeds it one observation per iteration, so a
+// million-iteration run reports P50/P95/P99 tails without retaining a
+// million samples. Estimation is deterministic: the same observation
+// sequence always yields the same estimates.
+type Quantiles struct {
+	targets []float64
+	est     []*p2
+	n       int
+}
+
+// NewQuantiles creates an estimator for the given quantile targets
+// (each in (0, 1), e.g. 0.5, 0.95, 0.99).
+func NewQuantiles(targets ...float64) *Quantiles {
+	q := &Quantiles{targets: append([]float64(nil), targets...)}
+	for _, t := range targets {
+		if t <= 0 || t >= 1 {
+			panic(fmt.Sprintf("stats: quantile target %v out of (0,1)", t))
+		}
+		q.est = append(q.est, newP2(t))
+	}
+	return q
+}
+
+// Add records one observation.
+func (q *Quantiles) Add(x float64) {
+	q.n++
+	for _, e := range q.est {
+		e.add(x)
+	}
+}
+
+// N reports the number of observations.
+func (q *Quantiles) N() int { return q.n }
+
+// Quantile reports the current estimate for one of the constructed
+// targets; it panics on a target the estimator was not built with.
+func (q *Quantiles) Quantile(target float64) float64 {
+	for i, t := range q.targets {
+		if t == target {
+			return q.est[i].value()
+		}
+	}
+	panic(fmt.Sprintf("stats: quantile %v not tracked", target))
+}
+
+// p2 is one P² marker set tracking a single quantile.
+type p2 struct {
+	p   float64
+	cnt int
+	q   [5]float64 // marker heights
+	n   [5]float64 // marker positions (1-based)
+	np  [5]float64 // desired positions
+	dn  [5]float64 // desired-position increments
+}
+
+func newP2(p float64) *p2 {
+	e := &p2{p: p}
+	e.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+func (e *p2) add(x float64) {
+	if e.cnt < 5 {
+		e.q[e.cnt] = x
+		e.cnt++
+		if e.cnt == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.n {
+				e.n[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	e.cnt++
+
+	// Locate the cell and stretch the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := range e.np {
+		e.np[i] += e.dn[i]
+	}
+
+	// Adjust the interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := math.Copysign(1, d)
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.n[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (e *p2) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+// linear is the fallback height prediction.
+func (e *p2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+// value is the current estimate: the middle marker once the estimator
+// is primed, the nearest-rank sample before that (exact for tiny
+// streams), 0 when empty.
+func (e *p2) value() float64 {
+	if e.cnt == 0 {
+		return 0
+	}
+	if e.cnt < 5 {
+		buf := make([]float64, e.cnt)
+		copy(buf, e.q[:e.cnt])
+		sort.Float64s(buf)
+		idx := int(math.Ceil(e.p*float64(e.cnt))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return buf[idx]
+	}
+	return e.q[2]
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank reference the P² estimates are
+// checked against.
+func exactQuantile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+func TestQuantilesUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewQuantiles(0.5, 0.95, 0.99)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		x := rng.Float64() * 100
+		xs = append(xs, x)
+		q.Add(x)
+	}
+	if q.N() != 20000 {
+		t.Fatalf("N = %d", q.N())
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		got, want := q.Quantile(p), exactQuantile(xs, p)
+		if diff := got - want; diff < -1.5 || diff > 1.5 {
+			t.Errorf("P%.0f = %.3f, exact %.3f (uniform[0,100))", p*100, got, want)
+		}
+	}
+}
+
+func TestQuantilesSkewed(t *testing.T) {
+	// A long-tailed mixture: the tail quantiles must sit far above the
+	// median, which a mean-only summary cannot show.
+	rng := rand.New(rand.NewSource(7))
+	q := NewQuantiles(0.5, 0.95, 0.99)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		x := rng.Float64()
+		if rng.Float64() < 0.05 {
+			x += 10 + 5*rng.Float64()
+		}
+		xs = append(xs, x)
+		q.Add(x)
+	}
+	p50, p99 := q.Quantile(0.5), q.Quantile(0.99)
+	if p50 > 2 {
+		t.Fatalf("P50 = %.3f, want near the bulk (<2)", p50)
+	}
+	if p99 < 5 {
+		t.Fatalf("P99 = %.3f, want in the tail (>5)", p99)
+	}
+	want99 := exactQuantile(xs, 0.99)
+	if diff := p99 - want99; diff < -1.5 || diff > 1.5 {
+		t.Errorf("P99 = %.3f, exact %.3f", p99, want99)
+	}
+}
+
+func TestQuantilesSmallStreams(t *testing.T) {
+	q := NewQuantiles(0.5)
+	if q.Quantile(0.5) != 0 {
+		t.Fatal("empty estimator should report 0")
+	}
+	q.Add(3)
+	if got := q.Quantile(0.5); got != 3 {
+		t.Fatalf("single sample: P50 = %v", got)
+	}
+	q.Add(1)
+	q.Add(2)
+	if got := q.Quantile(0.5); got != 2 {
+		t.Fatalf("three samples {1,2,3}: P50 = %v, want 2", got)
+	}
+}
+
+func TestQuantilesDeterministic(t *testing.T) {
+	run := func() [3]float64 {
+		rng := rand.New(rand.NewSource(42))
+		q := NewQuantiles(0.5, 0.95, 0.99)
+		for i := 0; i < 5000; i++ {
+			q.Add(rng.NormFloat64())
+		}
+		return [3]float64{q.Quantile(0.5), q.Quantile(0.95), q.Quantile(0.99)}
+	}
+	if run() != run() {
+		t.Fatal("same stream produced different estimates")
+	}
+}

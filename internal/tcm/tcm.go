@@ -173,6 +173,10 @@ func paretoFilter(pts []*ParetoPoint) []*ParetoPoint {
 type Selection struct {
 	Curve *Curve
 	Point *ParetoPoint
+	// Index is Point's position in Curve.Points, so consumers keyed by
+	// point position (the simulator's prepared-artifact tables) avoid a
+	// pointer-identity scan over the curve.
+	Index int
 }
 
 // ErrInfeasible reports that no combination of Pareto points meets the
@@ -229,7 +233,7 @@ func Select(curves []*Curve, deadline model.Dur) ([]Selection, error) {
 	}
 	out := make([]Selection, len(curves))
 	for i, c := range curves {
-		out[i] = Selection{Curve: c, Point: sel(i)}
+		out[i] = Selection{Curve: c, Point: sel(i), Index: len(c.Points) - 1 - idx[i]}
 	}
 	return out, nil
 }

@@ -40,7 +40,13 @@ import (
 //	"sim": {"approach": "hybrid", "iterations": 1000, "seed": 1,
 //	        "policy": "lru", "inclusion_prob": 0.8,
 //	        "scheduler_cost": false, "no_intertask": false,
-//	        "deadline_ms": 0}
+//	        "deadline_ms": 0,
+//	        "arrivals": {"process": "onoff", "p_on": 0.95}}
+//
+// The optional "arrivals" block inside "sim" selects the workload
+// arrival process (see ArrivalsDoc): the default Bernoulli draw, a
+// bursty Markov-modulated on-off process, or trace-driven replay of a
+// recorded arrival log.
 //
 // ParseRun decodes all three blocks at once; absent blocks default to
 // the paper's platform (8 tiles) and the hybrid approach. These blocks
@@ -76,6 +82,76 @@ type SimDoc struct {
 	SchedulerCost bool    `json:"scheduler_cost,omitempty"`
 	NoInterTask   bool    `json:"no_intertask,omitempty"`
 	DeadlineMS    float64 `json:"deadline_ms,omitempty"`
+	// Arrivals selects the workload arrival process; absent means the
+	// paper's Bernoulli draw under inclusion_prob.
+	Arrivals *ArrivalsDoc `json:"arrivals,omitempty"`
+}
+
+// ArrivalsDoc is the optional arrival-process block inside "sim":
+//
+//	"arrivals": {"process": "bernoulli", "p": 0.8}
+//	"arrivals": {"process": "onoff", "p_on": 0.95, "p_off": 0.15,
+//	             "on_to_off": 0.1, "off_to_on": 0.25, "start_off": false}
+//	"arrivals": {"process": "trace", "trace": [[0, 2], [1], []]}
+//
+// The probability fields are pointers so an explicit 0 (an always-idle
+// off state, a transition that never fires) is distinguishable from an
+// absent field, which keeps the process default. A trace entry lists
+// the task indices arriving that iteration (the log wraps around, and
+// an empty entry is an idle iteration).
+type ArrivalsDoc struct {
+	Process  string   `json:"process"` // bernoulli|onoff|trace; "": bernoulli
+	P        *float64 `json:"p,omitempty"`
+	POn      *float64 `json:"p_on,omitempty"`
+	POff     *float64 `json:"p_off,omitempty"`
+	OnToOff  *float64 `json:"on_to_off,omitempty"`
+	OffToOn  *float64 `json:"off_to_on,omitempty"`
+	StartOff bool     `json:"start_off,omitempty"`
+	Trace    [][]int  `json:"trace,omitempty"`
+}
+
+// Resolve materializes the arrival process. inclusionProb is the sim
+// block's inclusion_prob, which backs a bernoulli block without its own
+// "p"; an on-off block starts from sim.DefaultOnOff and overrides only
+// the fields the document sets. Full validation (probability ranges,
+// trace indices) happens when the simulation starts, where the mix
+// size is known.
+func (ad *ArrivalsDoc) Resolve(inclusionProb float64) (sim.Arrivals, error) {
+	if ad == nil {
+		return nil, nil
+	}
+	set := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	switch ad.Process {
+	case "", "bernoulli":
+		if ad.P != nil && *ad.P <= 0 {
+			// sim.Bernoulli treats P <= 0 as "use the 0.8 default", so
+			// an explicit non-positive p would silently mean something
+			// else; a never-arriving workload is a trace of empty
+			// entries, not a bernoulli p of 0.
+			return nil, fmt.Errorf("workload: bernoulli arrival probability %v must be in (0, 1]", *ad.P)
+		}
+		p := inclusionProb
+		set(&p, ad.P)
+		return sim.Bernoulli{P: p}, nil
+	case "onoff":
+		o := sim.DefaultOnOff
+		set(&o.POn, ad.POn)
+		set(&o.POff, ad.POff)
+		set(&o.OnToOff, ad.OnToOff)
+		set(&o.OffToOn, ad.OffToOn)
+		o.StartOff = ad.StartOff
+		return o, nil
+	case "trace":
+		if len(ad.Trace) == 0 {
+			return nil, fmt.Errorf("workload: arrivals process %q needs a non-empty trace", ad.Process)
+		}
+		return sim.Trace{Iterations: ad.Trace}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown arrival process %q (bernoulli|onoff|trace)", ad.Process)
 }
 
 // TaskDoc describes one dynamic task.
@@ -321,6 +397,9 @@ func (sd *SimDoc) Resolve() (sim.Options, error) {
 	opt.SchedulerCost = sd.SchedulerCost
 	opt.DisableInterTask = sd.NoInterTask
 	opt.Deadline = model.MS(sd.DeadlineMS)
+	if opt.Arrivals, err = sd.Arrivals.Resolve(sd.InclusionProb); err != nil {
+		return opt, err
+	}
 	return opt, nil
 }
 

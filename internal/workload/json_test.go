@@ -223,3 +223,80 @@ func TestParseRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseRunArrivalsBlock(t *testing.T) {
+	withArrivals := func(block string) string {
+		doc := strings.TrimSuffix(strings.TrimSpace(sampleMix), "}")
+		return doc + `, "sim": {"inclusion_prob": 0.6, "arrivals": ` + block + `}}`
+	}
+
+	spec, err := ParseRun([]byte(withArrivals(`{"process": "bernoulli"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := spec.Options.Arrivals.(sim.Bernoulli)
+	if !ok {
+		t.Fatalf("arrivals = %T, want sim.Bernoulli", spec.Options.Arrivals)
+	}
+	if b.P != 0.6 {
+		t.Fatalf("bernoulli without p should inherit inclusion_prob: P = %v", b.P)
+	}
+
+	spec, err = ParseRun([]byte(withArrivals(
+		`{"process": "onoff", "p_on": 0.9, "p_off": 0.2, "on_to_off": 0.05, "off_to_on": 0.3, "start_off": true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oo, ok := spec.Options.Arrivals.(sim.OnOff)
+	if !ok {
+		t.Fatalf("arrivals = %T, want sim.OnOff", spec.Options.Arrivals)
+	}
+	if oo.POn != 0.9 || oo.POff != 0.2 || oo.OnToOff != 0.05 || oo.OffToOn != 0.3 || !oo.StartOff {
+		t.Fatalf("onoff block = %+v", oo)
+	}
+
+	// Absent fields keep the tuned defaults; an explicit 0 is literal
+	// (the pointer wire fields make the two distinguishable).
+	spec, err = ParseRun([]byte(withArrivals(`{"process": "onoff", "off_to_on": 0}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oo = spec.Options.Arrivals.(sim.OnOff)
+	if oo.OffToOn != 0 {
+		t.Fatalf("explicit off_to_on 0 resolved to %v", oo.OffToOn)
+	}
+	if oo.POn != sim.DefaultOnOff.POn || oo.OnToOff != sim.DefaultOnOff.OnToOff {
+		t.Fatalf("absent fields lost the defaults: %+v", oo)
+	}
+
+	spec, err = ParseRun([]byte(withArrivals(`{"process": "trace", "trace": [[0], [], [0, 0]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := spec.Options.Arrivals.(sim.Trace)
+	if !ok {
+		t.Fatalf("arrivals = %T, want sim.Trace", spec.Options.Arrivals)
+	}
+	if len(tr.Iterations) != 3 || len(tr.Iterations[2]) != 2 {
+		t.Fatalf("trace block = %+v", tr)
+	}
+
+	for _, bad := range []string{
+		`{"process": "psychic"}`,
+		`{"process": "trace"}`,
+		`{"process": "bernoulli", "p": 0}`,
+	} {
+		if _, err := ParseRun([]byte(withArrivals(bad))); err == nil {
+			t.Fatalf("arrivals block %s silently accepted", bad)
+		}
+	}
+
+	// Documents without the block keep the nil default.
+	spec, err = ParseRun([]byte(sampleMix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Options.Arrivals != nil {
+		t.Fatalf("absent block resolved to %T", spec.Options.Arrivals)
+	}
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulation and engine benchmarks with -benchmem and
+# emit BENCH_sim.json: one record per benchmark with ns/op, B/op and
+# allocs/op. CI uploads the file as an artifact so the performance
+# trajectory (especially the sim hot path's allocation budget) has data
+# points across commits.
+#
+#   BENCH_OUT=path      output file (default BENCH_sim.json)
+#   BENCHTIME=5x        -benchtime for BenchmarkSimRun
+#   SWEEP_BENCHTIME=3x  -benchtime for BenchmarkEngineSweep
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_sim.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== sim kernel benchmarks =="
+go test -run '^$' -bench 'BenchmarkSimRun' -benchmem \
+    -benchtime "${BENCHTIME:-5x}" ./internal/sim | tee "$RAW"
+
+echo "== engine sweep benchmark =="
+go test -run '^$' -bench 'BenchmarkEngineSweep' -benchmem \
+    -benchtime "${SWEEP_BENCHTIME:-3x}" . | tee -a "$RAW"
+
+awk '
+function unitkey(u) {
+    gsub(/\//, "_per_", u)
+    gsub(/[^A-Za-z0-9_]/, "_", u)
+    sub(/_per_op$/, "_op", u)
+    return u
+}
+/^Benchmark/ {
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        printf ", \"%s\": %s", unitkey($(i + 1)), $i
+    }
+    printf "}"
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
