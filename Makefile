@@ -13,8 +13,12 @@ test: ## run all tests with the race detector
 	$(GO) test -race ./...
 
 .PHONY: bench
-bench: ## sim + engine benchmarks with -benchmem, emitting BENCH_sim.json
+bench: ## sim + engine + fabric benchmarks with -benchmem, emitting BENCH_sim.json + BENCH_fabric.json
 	./scripts/bench.sh
+
+.PHONY: bench-fabric
+bench-fabric: ## multitask kernel benchmark at partition counts 1/2/4
+	$(GO) test -run=^$$ -bench=BenchmarkMultitaskRun -benchmem ./internal/sim
 
 .PHONY: bench-all
 bench-all: ## run the full benchmark suite (regenerates the paper's numbers)

@@ -5,11 +5,14 @@
 //
 //	drhwsim [-workload multimedia|pocketgl] [-config file.json] [-export]
 //	        [-approach A] [-tiles N] [-isps N] [-iterations N] [-seed S]
-//	        [-policy lru|fifo|belady|random] [-schedcost] [-no-intertask]
-//	        [-deadline MS] [-arrivals bernoulli|onoff|trace] [-trace file.json]
+//	        [-policy P] [-schedcost] [-no-intertask] [-deadline MS]
+//	        [-arrivals A] [-trace file.json]
+//	        [-multitask M] [-partitions N]
 //
-// Approaches: no-prefetch, design-time, run-time, run-time+inter-task,
-// hybrid (default).
+// The accepted names for -approach, -policy, -arrivals and -multitask
+// come from the internal/workload registries (the exact sets the JSON
+// parsers accept), so `drhwsim -h` always lists every mode that
+// actually parses.
 //
 // -config replaces the built-in workload with a JSON document in the
 // internal/workload schema; -export prints the selected built-in
@@ -21,6 +24,12 @@
 // trace-driven replay. -trace names a JSON file holding the arrival log
 // (an array of iterations, each an array of task indices, e.g.
 // [[0,2],[1],[]]) and implies -arrivals trace.
+//
+// -multitask selects the fabric admission mode: serial whole-fabric
+// ownership (the paper's model, the default), fixed tile partitions
+// (-partitions, default 2), or greedy free-tile claims. Concurrent
+// modes report the peak in-flight count and per-instance queueing-delay
+// and response-time percentiles.
 package main
 
 import (
@@ -42,17 +51,19 @@ func main() {
 		wl          = flag.String("workload", "multimedia", "workload: multimedia|pocketgl (ignored with -config)")
 		config      = flag.String("config", "", "JSON workload file (see internal/workload JSON schema)")
 		export      = flag.Bool("export", false, "print the selected built-in workload as JSON and exit")
-		approach    = flag.String("approach", "hybrid", "no-prefetch|design-time|run-time|run-time+inter-task|hybrid")
+		approach    = flag.String("approach", "hybrid", "scheduling approach: "+workload.Usage(workload.Approaches()))
 		tiles       = flag.Int("tiles", 8, "number of DRHW tiles")
 		isps        = flag.Int("isps", 1, "number of instruction-set processors")
 		iterations  = flag.Int("iterations", 1000, "iterations")
 		seed        = flag.Int64("seed", 1, "random seed")
-		policy      = flag.String("policy", "lru", "replacement policy: lru|fifo|belady|random")
+		policy      = flag.String("policy", "lru", "replacement policy: "+workload.Usage(workload.Policies()))
 		schedCost   = flag.Bool("schedcost", false, "model the run-time scheduler's own CPU cost")
 		noInterTask = flag.Bool("no-intertask", false, "disable the inter-task optimization (hybrid only)")
 		deadlineMS  = flag.Float64("deadline", 0, "per-iteration deadline in ms; >0 activates TCM energy-aware point selection")
-		arrivals    = flag.String("arrivals", "bernoulli", "arrival process: bernoulli|onoff|trace")
+		arrivals    = flag.String("arrivals", "bernoulli", "arrival process: "+workload.Usage(workload.ArrivalProcesses()))
 		traceFile   = flag.String("trace", "", "JSON arrival log for -arrivals trace (array of iterations, each an array of task indices)")
+		multitask   = flag.String("multitask", "serial", "fabric admission mode: "+workload.Usage(workload.MultitaskModes()))
+		partitions  = flag.Int("partitions", 0, "fixed tile-partition count for -multitask partition (0: 2)")
 	)
 	flag.Parse()
 
@@ -111,6 +122,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	mt, err := workload.ParseMultitask(*multitask, *partitions)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *traceFile != "" {
 		// -trace implies -arrivals trace, but an explicit conflicting
 		// -arrivals means one of the two flags would be silently
@@ -150,7 +167,7 @@ func main() {
 		}
 		arr = sim.Trace{Iterations: entries}
 	default:
-		fmt.Fprintf(os.Stderr, "drhwsim: unknown arrival process %q (bernoulli|onoff|trace)\n", *arrivals)
+		fmt.Fprintf(os.Stderr, "drhwsim: unknown arrival process %q (%s)\n", *arrivals, workload.Usage(workload.ArrivalProcesses()))
 		os.Exit(2)
 	}
 
@@ -164,6 +181,7 @@ func main() {
 		Policy:           pol,
 		Lookahead:        lookahead,
 		Arrivals:         arr,
+		Multitask:        mt,
 		SchedulerCost:    *schedCost,
 		DisableInterTask: *noInterTask,
 		Deadline:         model.MS(*deadlineMS),
@@ -187,6 +205,16 @@ func main() {
 		r.IterMakespan.P50, r.IterMakespan.P95, r.IterMakespan.P99)
 	fmt.Printf("iter overhead       p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
 		r.IterOverhead.P50, r.IterOverhead.P95, r.IterOverhead.P99)
+	if r.Partitions > 0 {
+		fmt.Printf("multitask           %s (%d partitions), peak %d in flight\n",
+			r.MultitaskMode, r.Partitions, r.MaxInFlight)
+	} else {
+		fmt.Printf("multitask           %s, peak %d in flight\n", r.MultitaskMode, r.MaxInFlight)
+	}
+	fmt.Printf("queue delay         p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+		r.QueueDelay.P50, r.QueueDelay.P95, r.QueueDelay.P99)
+	fmt.Printf("response time       p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+		r.ResponseTime.P50, r.ResponseTime.P95, r.ResponseTime.P99)
 	fmt.Printf("reconfig energy     %.1f mJ\n", r.LoadEnergy)
 	if r.CriticalPct > 0 {
 		fmt.Printf("critical subtasks   %.0f%% (average across analyses)\n", r.CriticalPct)

@@ -21,6 +21,11 @@
 //     Analysis.Execute, the O(N) run-time phase with load
 //     cancellation and the inter-task optimization;
 //   - the reuse/replacement state (NewTileState, MapTiles, Resident);
+//   - the fabric layer (NewFabric): the shared platform run-time state
+//     behind pluggable admission policies, enabling online hardware
+//     multitasking — several task instances resident on disjoint tile
+//     claims at once (Multitask, SerialAllocation /
+//     PartitionAllocation / GreedyAllocation);
 //   - the system simulator (Simulate) that reproduces the paper's
 //     experiments;
 //   - the concurrent experiment engine (NewEngine) that memoizes
@@ -52,6 +57,7 @@ import (
 	"drhwsched/internal/assign"
 	"drhwsched/internal/core"
 	"drhwsched/internal/engine"
+	"drhwsched/internal/fabric"
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
 	"drhwsched/internal/platform"
@@ -183,6 +189,38 @@ type (
 
 // NewTileState returns an all-empty tile state.
 func NewTileState(tiles int) *TileState { return reconfig.NewState(tiles) }
+
+// Fabric layer: the shared platform run-time state (tile residency,
+// per-tile/per-port/per-ISP availability, in-use flags) behind the
+// pluggable admission policies of online hardware multitasking.
+type (
+	// Fabric owns the shared run-time state of the platform.
+	Fabric = fabric.Fabric
+	// FabricAllocation is the admission-policy seam granting disjoint
+	// tile claims to task instances.
+	FabricAllocation = fabric.Allocation
+	// SerialAllocation grants the whole fabric to one instance at a
+	// time (the paper's model); PartitionAllocation carves the tiles
+	// into fixed blocks; GreedyAllocation claims free tiles anywhere,
+	// preferring resident configurations.
+	SerialAllocation = fabric.Serial
+	// PartitionAllocation admits instances onto fixed tile blocks.
+	PartitionAllocation = fabric.Partition
+	// GreedyAllocation claims exactly the needed free tiles anywhere.
+	GreedyAllocation = fabric.Greedy
+	// Multitask selects the simulation kernel's fabric admission mode
+	// (sim.Options.Multitask / the workload JSON "sim.multitask"
+	// block).
+	Multitask = sim.Multitask
+)
+
+// NewFabric builds an all-idle fabric for p under the given replacement
+// policy (nil means LRU).
+func NewFabric(p Platform, policy ReplacementPolicy) *Fabric { return fabric.New(p, policy) }
+
+// MultitaskModes lists the admission-mode wire names ("serial",
+// "partition", "greedy").
+func MultitaskModes() []string { return sim.MultitaskModes() }
 
 // MapTiles chooses the virtual-to-physical tile placement maximizing
 // (critical-first) reuse.

@@ -84,7 +84,32 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if r.OverheadPct < 0 {
 		t.Fatalf("overhead = %v", r.OverheadPct)
 	}
+	if r.MultitaskMode != "serial" {
+		t.Fatalf("default multitask mode = %q", r.MultitaskMode)
+	}
 	if drhw.MS(4).Milliseconds() != 4 {
 		t.Fatal("MS conversion")
+	}
+
+	// Fabric layer: direct allocation plus a multitask simulation.
+	fab := drhw.NewFabric(p, drhw.LRU{})
+	var alloc drhw.FabricAllocation = drhw.SerialAllocation{}
+	claim, ok := fab.Acquire(alloc, 2, nil, nil)
+	if !ok || len(claim) != p.Tiles {
+		t.Fatalf("serial fabric claim = %v (ok=%v)", claim, ok)
+	}
+	fab.Release(claim)
+	if len(drhw.MultitaskModes()) != 3 {
+		t.Fatalf("multitask modes: %v", drhw.MultitaskModes())
+	}
+	mr, err := drhw.Simulate([]drhw.TaskMix{{Task: task}}, p, drhw.SimOptions{
+		Approach: drhw.Hybrid, Iterations: 10,
+		Multitask: drhw.Multitask{Mode: "greedy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.MultitaskMode != "greedy" || mr.ResponseTime.P50 < 0 {
+		t.Fatalf("greedy multitask run: %+v", mr)
 	}
 }

@@ -122,12 +122,20 @@ func (e *Engine) Simulate(mix []sim.TaskMix, p platform.Platform, opt sim.Option
 // Platform under Options, recorded at sweep value X under series line
 // Line.
 //
-// Options.Arrivals and Options.Observer thread through unchanged:
-// Arrivals values are immutable configuration (each run starts its own
-// ArrivalSource), so one value may be shared by every cell of a grid;
-// an Observer is called from the worker goroutine executing its cell,
-// so concurrent cells must use distinct Observer values unless the
-// function is safe for concurrent use.
+// Options.Arrivals, Options.Multitask and Options.Observer thread
+// through unchanged: Arrivals and Multitask values are immutable
+// configuration (each run starts its own ArrivalSource and fabric), so
+// one value may be shared by every cell of a grid; an Observer is
+// called from the worker goroutine executing its cell, so concurrent
+// cells must use distinct Observer values unless the function is safe
+// for concurrent use.
+//
+// The multitask admission mode is deliberately absent from the
+// analysis cache key (engine.Fingerprint): it only changes how task
+// instances share the fabric at run time, never the design-time
+// artifact of a schedule, so serial and multitask cells of one grid
+// share cache entries — a sweep across admission modes pays the
+// design-time phase once.
 type Run struct {
 	X        int
 	Line     string

@@ -295,6 +295,41 @@ func TestSimulateReportsCacheTraffic(t *testing.T) {
 	}
 }
 
+// TestMultitaskSharesAnalysisCache pins the fingerprint contract for
+// the fabric layer: the multitask admission mode is run-time-only, so a
+// run under partition admission served after a serial run on the same
+// engine hits the cache for every analysis — a mode sweep pays the
+// design-time phase exactly once.
+func TestMultitaskSharesAnalysisCache(t *testing.T) {
+	mix := testMix(t)
+	p := platform.Default(6)
+	eng := New(Config{})
+
+	serial, err := eng.Simulate(mix, p, sim.Options{Approach: sim.Hybrid, Iterations: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.CacheMisses == 0 {
+		t.Fatal("cold serial run computed no analyses")
+	}
+	part, err := eng.Simulate(mix, p, sim.Options{
+		Approach:   sim.Hybrid,
+		Iterations: 20,
+		Seed:       3,
+		Multitask:  sim.Multitask{Mode: "partition", Partitions: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.CacheMisses != 0 || part.CacheHits != serial.CacheMisses {
+		t.Fatalf("partition run after serial: %d hits / %d misses, want %d/0 (multitask must not change analysis keys)",
+			part.CacheHits, part.CacheMisses, serial.CacheMisses)
+	}
+	if part.MultitaskMode != "partition" || serial.MultitaskMode != "serial" {
+		t.Fatalf("multitask telemetry lost through the engine: %q / %q", serial.MultitaskMode, part.MultitaskMode)
+	}
+}
+
 // TestSweepDuplicateCellDeterministic checks that a grid repeating one
 // (X, Line) cell resolves last-write-wins in input order, exactly as a
 // serial loop would — regardless of which worker finishes first.

@@ -33,6 +33,11 @@ import (
 //     stateless values (as OnDemand, List and BranchBound are): a
 //     scheduler carrying pointer state would render as an address,
 //     aliasing cache entries across mutations of that state.
+//
+// Run-time-only simulation knobs — the arrival process, the fabric
+// admission mode (sim.Options.Multitask), the replacement policy — are
+// deliberately outside the key: they never change what core.Analyze
+// computes, so runs differing only in those knobs share entries.
 func Fingerprint(s *assign.Schedule, p platform.Platform, opt core.Options) string {
 	h := sha256.New()
 	w := writer{h: h}

@@ -1,0 +1,160 @@
+package fabric
+
+import (
+	"testing"
+
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/reconfig"
+)
+
+func testFabric(tiles int) *Fabric {
+	p := platform.Default(tiles)
+	p.Ports = 2
+	p.ISPs = 1
+	return New(p, nil)
+}
+
+func acquire(t *testing.T, f *Fabric, a Allocation, need int, cfgs []graph.ConfigID) []int {
+	t.Helper()
+	claim, ok := f.Acquire(a, need, cfgs, nil)
+	if !ok {
+		t.Fatalf("%s: acquire(%d) refused with %d free tiles", a.Name(), need, f.FreeTiles())
+	}
+	return claim
+}
+
+func TestSerialGrantsWholeFabricExclusively(t *testing.T) {
+	f := testFabric(4)
+	claim := acquire(t, f, Serial{}, 2, nil)
+	if len(claim) != 4 {
+		t.Fatalf("serial claim = %v, want all 4 tiles", claim)
+	}
+	if _, ok := f.Acquire(Serial{}, 1, nil, nil); ok {
+		t.Fatal("serial admitted a second instance while one is in flight")
+	}
+	f.Release(claim)
+	if f.FreeTiles() != 4 || f.InFlight() != 0 {
+		t.Fatalf("after release: %d free, %d in flight", f.FreeTiles(), f.InFlight())
+	}
+}
+
+func TestSerialExcludesZeroTileInstances(t *testing.T) {
+	// Even an instance needing no tiles (all-ISP) owns the whole fabric
+	// in serial mode: the paper's model runs one instance at a time.
+	f := testFabric(2)
+	claim := acquire(t, f, Serial{}, 0, nil)
+	if _, ok := f.Acquire(Serial{}, 1, nil, nil); ok {
+		t.Fatal("serial admitted alongside an in-flight zero-tile instance")
+	}
+	f.Release(claim)
+	if _, ok := f.Acquire(Serial{}, 1, nil, nil); !ok {
+		t.Fatal("serial refused an idle fabric")
+	}
+}
+
+func TestPartitionBlocksAndQueueing(t *testing.T) {
+	f := testFabric(8)
+	a := Partition{Blocks: 2}
+	c1 := acquire(t, f, a, 3, nil)
+	if want := []int{0, 1, 2, 3}; !equalInts(c1, want) {
+		t.Fatalf("first claim = %v, want block 0 = %v", c1, want)
+	}
+	c2 := acquire(t, f, a, 4, nil)
+	if want := []int{4, 5, 6, 7}; !equalInts(c2, want) {
+		t.Fatalf("second claim = %v, want block 1 = %v", c2, want)
+	}
+	// Fabric full: a third instance queues.
+	if _, ok := f.Acquire(a, 1, nil, nil); ok {
+		t.Fatal("partition granted tiles on a fully claimed fabric")
+	}
+	f.Release(c1)
+	c3 := acquire(t, f, a, 1, nil)
+	if want := []int{0, 1, 2, 3}; !equalInts(c3, want) {
+		t.Fatalf("reclaim = %v, want freed block 0 = %v", c3, want)
+	}
+}
+
+func TestPartitionSpansConsecutiveBlocks(t *testing.T) {
+	// A need larger than one block takes a run of consecutive free
+	// blocks — here the whole fabric.
+	f := testFabric(8)
+	a := Partition{Blocks: 4}
+	claim := acquire(t, f, a, 5, nil)
+	if len(claim) != 6 { // three 2-tile blocks cover need 5
+		t.Fatalf("claim %v spans %d tiles, want 6 (three blocks)", claim, len(claim))
+	}
+	// Remainder block sizing: 7 tiles in 2 blocks -> 3 + 4.
+	g := testFabric(7)
+	b := Partition{Blocks: 2}
+	c1 := acquire(t, g, b, 3, nil)
+	c2 := acquire(t, g, b, 4, nil)
+	if len(c1) != 3 || len(c2) != 4 {
+		t.Fatalf("remainder blocks sized %d and %d, want 3 and 4", len(c1), len(c2))
+	}
+}
+
+func TestGreedyPrefersWantedConfigsThenLRU(t *testing.T) {
+	f := testFabric(4)
+	st := f.State()
+	st.Set(0, "a", model.Time(40*model.Millisecond))
+	st.Set(1, "b", model.Time(10*model.Millisecond))
+	st.Set(2, "c", model.Time(30*model.Millisecond))
+	st.Set(3, "d", model.Time(20*model.Millisecond))
+
+	// Wants "c": tile 2 first despite being recently used, then the
+	// least recently used free tile (tile 1).
+	claim := acquire(t, f, Greedy{}, 2, []graph.ConfigID{"c"})
+	if want := []int{2, 1}; !equalInts(claim, want) {
+		t.Fatalf("greedy claim = %v, want %v (config match, then LRU)", claim, want)
+	}
+}
+
+func TestInUseTilesNeverGranted(t *testing.T) {
+	for _, a := range []Allocation{Partition{Blocks: 4}, Greedy{}} {
+		f := testFabric(8)
+		held := acquire(t, f, a, 3, nil)
+		second := acquire(t, f, a, 4, nil)
+		for _, t2 := range second {
+			for _, t1 := range held {
+				if t1 == t2 {
+					t.Fatalf("%s: tile %d granted to two in-flight instances (%v, %v)",
+						a.Name(), t1, held, second)
+				}
+			}
+		}
+	}
+}
+
+func TestTimelinesAdvanceMonotonically(t *testing.T) {
+	f := testFabric(2)
+	f.AdvanceTile(0, model.Time(5*model.Millisecond))
+	f.AdvanceTile(0, model.Time(3*model.Millisecond))
+	if got := f.TileFree(0); got != model.Time(5*model.Millisecond) {
+		t.Fatalf("tile timeline moved backwards: %v", got)
+	}
+	f.SetPortsFrom([]model.Time{model.Time(2 * model.Millisecond), model.Time(7 * model.Millisecond)})
+	if got := f.MinPortFree(); got != model.Time(2*model.Millisecond) {
+		t.Fatalf("MinPortFree = %v, want 2ms", got)
+	}
+	f.AdvanceISP(0, model.Time(9*model.Millisecond))
+	if got := f.ISPFree(0); got != model.Time(9*model.Millisecond) {
+		t.Fatalf("ISPFree = %v, want 9ms", got)
+	}
+	if f.Policy().Name() != (reconfig.LRU{}).Name() {
+		t.Fatalf("default policy = %q, want lru", f.Policy().Name())
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

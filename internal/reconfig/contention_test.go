@@ -1,0 +1,149 @@
+package reconfig
+
+import (
+	"math/rand"
+	"testing"
+
+	"drhwsched/internal/assign"
+	"drhwsched/internal/graph"
+	"drhwsched/internal/model"
+	"drhwsched/internal/platform"
+)
+
+// twoLoadSchedule builds a schedule with two parallel subtasks whose
+// configurations match nothing, so both need eviction victims.
+func twoLoadSchedule(t *testing.T, tiles int) *assign.Schedule {
+	t.Helper()
+	g := graph.New("t")
+	g.AddConfigured("a", model.MS(5), "fresh-a")
+	g.AddConfigured("b", model.MS(5), "fresh-b")
+	s, err := assign.List(g, platform.Default(tiles), assign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestInUseTileNeverVictim is the multitasking contention invariant:
+// tiles held by a concurrent instance (executing or with loads pending)
+// are outside MapOptions.Allowed, and no replacement policy may pick
+// them as eviction victims — even when they are the policy's preferred
+// choice by every metric.
+func TestInUseTileNeverVictim(t *testing.T) {
+	policies := []Policy{LRU{}, FIFO{}, Belady{}, Random{Rng: rand.New(rand.NewSource(1))}}
+	for _, pol := range policies {
+		t.Run(pol.Name(), func(t *testing.T) {
+			s := twoLoadSchedule(t, 4)
+			st := NewState(4)
+			// Tiles 0 and 1 (the in-use ones) are the best victims under
+			// every policy: least recently used, oldest configurations,
+			// and holding configs never needed again. Tiles 2 and 3 are
+			// recently used and their configs recur in the future stream.
+			st.Set(0, "held-x", model.Time(1*model.Millisecond))
+			st.Set(1, "held-y", model.Time(2*model.Millisecond))
+			st.Set(2, "warm-a", model.Time(90*model.Millisecond))
+			st.Set(3, "warm-b", model.Time(95*model.Millisecond))
+			future := []graph.ConfigID{"warm-a", "warm-b"}
+
+			m, err := Map(s, st, MapOptions{
+				Policy:  pol,
+				Future:  future,
+				Allowed: []int{2, 3},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < s.Tiles; v++ {
+				if len(s.TileOrder[v]) == 0 {
+					continue
+				}
+				if phys := m.PhysOf[v]; phys != 2 && phys != 3 {
+					t.Fatalf("%s: busy virtual tile %d mapped onto in-use tile %d (mapping %v)",
+						pol.Name(), v, phys, m.PhysOf)
+				}
+			}
+		})
+	}
+}
+
+// TestAllowedRestrictsReuseMatches: a reuse match on an in-use tile is
+// no match at all — the configuration there belongs to the instance
+// holding the tile.
+func TestAllowedRestrictsReuseMatches(t *testing.T) {
+	g := graph.New("t")
+	a := g.AddConfigured("a", model.MS(5), "shared")
+	s, err := assign.List(g, platform.Default(2), assign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(4)
+	st.Set(0, "shared", model.Time(50*model.Millisecond)) // in use elsewhere
+	m, err := Map(s, st, MapOptions{Allowed: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := Resident(s, st, m); res[a] {
+		t.Fatalf("reuse claimed through an in-use tile: mapping %v", m.PhysOf)
+	}
+	if phys := m.PhysOf[s.Assignment[a]]; phys != 2 && phys != 3 {
+		t.Fatalf("busy tile mapped outside the claim: %v", m.PhysOf)
+	}
+}
+
+// TestAllowedExhaustedParkingIsInert: a claim smaller than the virtual
+// tile count parks the idle rows on claimed tiles; the parked rows must
+// not steal distinct tiles the busy rows need.
+func TestAllowedExhaustedParkingIsInert(t *testing.T) {
+	s := twoLoadSchedule(t, 8) // 8 virtual tiles, 2 busy
+	st := NewState(8)
+	allowed := []int{5, 6}
+	m, err := Map(s, st, MapOptions{Allowed: allowed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for v := 0; v < s.Tiles; v++ {
+		phys := m.PhysOf[v]
+		if phys != 5 && phys != 6 {
+			t.Fatalf("virtual tile %d mapped outside the claim: %v", v, m.PhysOf)
+		}
+		if len(s.TileOrder[v]) > 0 {
+			if seen[phys] {
+				t.Fatalf("two busy virtual tiles share physical tile %d: %v", phys, m.PhysOf)
+			}
+			seen[phys] = true
+		}
+	}
+}
+
+// TestAllowedOutOfRangeRejected: a claim referencing a tile the state
+// does not have is a caller bug, reported instead of panicking.
+func TestAllowedOutOfRangeRejected(t *testing.T) {
+	s := twoLoadSchedule(t, 2)
+	if _, err := Map(s, NewState(2), MapOptions{Allowed: []int{0, 7}}); err == nil {
+		t.Fatal("out-of-range allowed tile accepted")
+	}
+}
+
+// TestNilAllowedUnchanged pins that the nil (single-instance) path is
+// untouched by the claim mechanism: identical mapping with and without
+// an Allowed set naming every tile.
+func TestNilAllowedUnchanged(t *testing.T) {
+	s := twoLoadSchedule(t, 4)
+	st := NewState(4)
+	st.Set(0, "old", model.Time(5*model.Millisecond))
+	st.Set(1, "older", model.Time(2*model.Millisecond))
+	m1, err := Map(s, st, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Map(s, st, MapOptions{Allowed: []int{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range m1.PhysOf {
+		if m1.PhysOf[v] != m2.PhysOf[v] {
+			t.Fatalf("full Allowed set diverges from nil: %v vs %v", m1.PhysOf, m2.PhysOf)
+		}
+	}
+}

@@ -192,6 +192,14 @@ type MapOptions struct {
 	Critical func(graph.SubtaskID) bool
 	// Future lists upcoming configurations for lookahead policies.
 	Future []graph.ConfigID
+	// Allowed restricts the mapping to these physical tiles — the
+	// instance's fabric claim under hardware multitasking. Tiles
+	// outside the set are never reuse matches, never offered to the
+	// replacement policy as victims, and never parking targets (so an
+	// executing or load-pending tile of a concurrent instance cannot be
+	// disturbed). Nil means every tile of the state is available, which
+	// reproduces the single-instance behaviour exactly.
+	Allowed []int
 }
 
 // Map places the schedule's virtual tiles on physical tiles.

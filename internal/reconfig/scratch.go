@@ -45,7 +45,17 @@ func MapInto(s *assign.Schedule, st *State, opt MapOptions, sc *MapScratch) (Map
 	for v := range m.PhysOf {
 		m.PhysOf[v] = -1
 	}
+	// A restricted Allowed set is implemented by pre-claiming every
+	// other tile: all the passes below (reuse matches, drain scans,
+	// victim candidates, parking) already skip taken tiles, so none of
+	// them can touch a tile outside the claim.
 	for t := range taken {
+		taken[t] = opt.Allowed != nil
+	}
+	for _, t := range opt.Allowed {
+		if t < 0 || t >= st.Tiles() {
+			return Mapping{}, fmt.Errorf("reconfig: allowed tile %d outside platform of %d tiles", t, st.Tiles())
+		}
 		taken[t] = false
 	}
 	claim := func(v, t int) {
@@ -162,16 +172,28 @@ func MapInto(s *assign.Schedule, st *State, opt MapOptions, sc *MapScratch) (Map
 		claim(v, pick)
 	}
 
-	// Pass 5: park idle virtual tiles on leftovers.
+	// Pass 5: park idle virtual tiles on leftovers. With the full
+	// fabric available there is always a distinct leftover per idle
+	// tile (k never exceeds the tile count); under a restricted claim
+	// the leftovers can run out, in which case parking reuses a claimed
+	// tile — parked rows are inert (they execute nothing, are never
+	// committed, and their availability floor is never consulted), so
+	// duplicates are harmless.
 	next := 0
 	for v := 0; v < k; v++ {
 		if m.PhysOf[v] >= 0 {
 			continue
 		}
-		for taken[next] {
+		for next < st.Tiles() && taken[next] {
 			next++
 		}
-		claim(v, next)
+		if next < st.Tiles() {
+			claim(v, next)
+		} else if len(opt.Allowed) > 0 {
+			m.PhysOf[v] = opt.Allowed[0]
+		} else {
+			m.PhysOf[v] = 0
+		}
 	}
 	return m, nil
 }

@@ -185,6 +185,20 @@ type SimulateResponse struct {
 	OverheadP95MS float64 `json:"overhead_p95_ms"`
 	OverheadP99MS float64 `json:"overhead_p99_ms"`
 
+	// Fabric multitasking: the admission mode the run executed under,
+	// its partition count (partition mode only), the peak number of
+	// concurrently resident instances, and the per-instance
+	// queueing-delay / response-time tail percentiles (milliseconds).
+	MultitaskMode   string  `json:"multitask_mode"`
+	Partitions      int     `json:"partitions,omitempty"`
+	MaxInFlight     int     `json:"max_in_flight"`
+	QueueDelayP50MS float64 `json:"queue_delay_p50_ms"`
+	QueueDelayP95MS float64 `json:"queue_delay_p95_ms"`
+	QueueDelayP99MS float64 `json:"queue_delay_p99_ms"`
+	ResponseP50MS   float64 `json:"response_p50_ms"`
+	ResponseP95MS   float64 `json:"response_p95_ms"`
+	ResponseP99MS   float64 `json:"response_p99_ms"`
+
 	// Per-run analysis-cache traffic (this request only) and the
 	// engine-wide snapshot.
 	CacheHits   int       `json:"cache_hits"`
@@ -194,35 +208,44 @@ type SimulateResponse struct {
 
 func simulateResponse(name string, pstr string, res *sim.Result) SimulateResponse {
 	return SimulateResponse{
-		Name:           name,
-		Approach:       res.Approach.String(),
-		Platform:       pstr,
-		Tiles:          res.Tiles,
-		Iterations:     res.Iterations,
-		IdealMS:        res.IdealTotal.Milliseconds(),
-		ActualMS:       res.ActualTotal.Milliseconds(),
-		OverheadPct:    res.OverheadPct,
-		Instances:      res.Instances,
-		Subtasks:       res.Subtasks,
-		Loads:          res.Loads,
-		InitLoads:      res.InitLoads,
-		Reuses:         res.Reuses,
-		Cancelled:      res.Cancelled,
-		SavedLoads:     res.SavedLoads,
-		ReusePct:       res.ReusePct,
-		LoadEnergyMJ:   res.LoadEnergy,
-		CriticalPct:    res.CriticalPct,
-		SchedCostMS:    res.SchedCost.Milliseconds(),
-		DeadlineMisses: res.DeadlineMisses,
-		PointEnergyMJ:  res.PointEnergy,
-		MakespanP50MS:  res.IterMakespan.P50,
-		MakespanP95MS:  res.IterMakespan.P95,
-		MakespanP99MS:  res.IterMakespan.P99,
-		OverheadP50MS:  res.IterOverhead.P50,
-		OverheadP95MS:  res.IterOverhead.P95,
-		OverheadP99MS:  res.IterOverhead.P99,
-		CacheHits:      res.CacheHits,
-		CacheMisses:    res.CacheMisses,
+		Name:            name,
+		Approach:        res.Approach.String(),
+		Platform:        pstr,
+		Tiles:           res.Tiles,
+		Iterations:      res.Iterations,
+		IdealMS:         res.IdealTotal.Milliseconds(),
+		ActualMS:        res.ActualTotal.Milliseconds(),
+		OverheadPct:     res.OverheadPct,
+		Instances:       res.Instances,
+		Subtasks:        res.Subtasks,
+		Loads:           res.Loads,
+		InitLoads:       res.InitLoads,
+		Reuses:          res.Reuses,
+		Cancelled:       res.Cancelled,
+		SavedLoads:      res.SavedLoads,
+		ReusePct:        res.ReusePct,
+		LoadEnergyMJ:    res.LoadEnergy,
+		CriticalPct:     res.CriticalPct,
+		SchedCostMS:     res.SchedCost.Milliseconds(),
+		DeadlineMisses:  res.DeadlineMisses,
+		PointEnergyMJ:   res.PointEnergy,
+		MakespanP50MS:   res.IterMakespan.P50,
+		MakespanP95MS:   res.IterMakespan.P95,
+		MakespanP99MS:   res.IterMakespan.P99,
+		OverheadP50MS:   res.IterOverhead.P50,
+		OverheadP95MS:   res.IterOverhead.P95,
+		OverheadP99MS:   res.IterOverhead.P99,
+		MultitaskMode:   res.MultitaskMode,
+		Partitions:      res.Partitions,
+		MaxInFlight:     res.MaxInFlight,
+		QueueDelayP50MS: res.QueueDelay.P50,
+		QueueDelayP95MS: res.QueueDelay.P95,
+		QueueDelayP99MS: res.QueueDelay.P99,
+		ResponseP50MS:   res.ResponseTime.P50,
+		ResponseP95MS:   res.ResponseTime.P95,
+		ResponseP99MS:   res.ResponseTime.P99,
+		CacheHits:       res.CacheHits,
+		CacheMisses:     res.CacheMisses,
 	}
 }
 
@@ -231,6 +254,7 @@ func simulateResponse(name string, pstr string, res *sim.Result) SimulateRespons
 type IterationWire struct {
 	Iteration    int     `json:"iteration"`
 	Instances    int     `json:"instances"`
+	MaxInFlight  int     `json:"max_in_flight"`
 	MakespanMS   float64 `json:"makespan_ms"`
 	OverheadMS   float64 `json:"overhead_ms"`
 	Loads        int     `json:"loads"`
@@ -300,6 +324,7 @@ func (s *Server) streamSimulate(w http.ResponseWriter, r *http.Request, spec *wo
 		writeErr = enc.Encode(IterationWire{
 			Iteration:    rec.Iteration,
 			Instances:    rec.Instances,
+			MaxInFlight:  rec.MaxInFlight,
 			MakespanMS:   rec.Makespan.Milliseconds(),
 			OverheadMS:   rec.Overhead.Milliseconds(),
 			Loads:        rec.Loads,
@@ -366,7 +391,7 @@ type SweepSummary struct {
 	Cache     CacheWire `json:"cache"`
 }
 
-var allApproaches = []string{"no-prefetch", "design-time", "run-time", "run-time+inter-task", "hybrid"}
+var allApproaches = workload.Approaches()
 
 // sweepGrid expands a sweep request into engine runs.
 func (s *Server) sweepGrid(req *SweepRequest) ([]engine.Run, error) {

@@ -212,6 +212,103 @@ func TestSimulateReportsTailPercentiles(t *testing.T) {
 	}
 }
 
+// multitaskDoc runs two parallel-friendly tasks under partition
+// admission on a 16-tile platform, so instances genuinely overlap.
+const multitaskDoc = `{
+  "name": "duo",
+  "platform": {"tiles": 16},
+  "sim": {"approach": "run-time", "iterations": 40, "seed": 1, "inclusion_prob": 1,
+          "multitask": {"mode": "partition", "partitions": 2}},
+  "tasks": [{
+    "name": "left",
+    "scenarios": [{
+      "subtasks": [
+        {"name": "a", "exec_ms": 10},
+        {"name": "b", "exec_ms": 12},
+        {"name": "c", "exec_ms": 8}
+      ],
+      "edges": [{"from": 0, "to": 1}, {"from": 1, "to": 2}]
+    }]
+  }, {
+    "name": "right",
+    "scenarios": [{
+      "subtasks": [
+        {"name": "x", "exec_ms": 9},
+        {"name": "y", "exec_ms": 11}
+      ],
+      "edges": [{"from": 0, "to": 1}]
+    }]
+  }]
+}`
+
+func TestSimulateMultitaskBlock(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/simulate", multitaskDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.MultitaskMode != "partition" || sr.Partitions != 2 {
+		t.Fatalf("multitask wire fields = %q/%d, want partition/2", sr.MultitaskMode, sr.Partitions)
+	}
+	if sr.MaxInFlight < 2 {
+		t.Fatalf("max_in_flight = %d, want >= 2 on a 2-partition fabric", sr.MaxInFlight)
+	}
+	if sr.ResponseP50MS <= 0 || sr.ResponseP99MS < sr.ResponseP50MS {
+		t.Fatalf("response-time percentiles missing or inverted: %+v", sr)
+	}
+	if sr.QueueDelayP99MS < sr.QueueDelayP50MS {
+		t.Fatalf("queue-delay percentiles inverted: %+v", sr)
+	}
+
+	// A plain document reports the serial default.
+	resp, body = post(t, ts.URL+"/v1/simulate", simDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var plain SimulateResponse
+	if err := json.Unmarshal([]byte(body), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.MultitaskMode != "serial" || plain.MaxInFlight != 1 {
+		t.Fatalf("serial default wire fields = %q/%d, want serial/1", plain.MultitaskMode, plain.MaxInFlight)
+	}
+
+	// Unknown modes are rejected before any simulation work.
+	bad := strings.Replace(multitaskDoc, `"mode": "partition"`, `"mode": "anarchy"`, 1)
+	resp, body = post(t, ts.URL+"/v1/simulate", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown multitask mode: status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSimulateMultitaskStreamReportsInFlight(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/simulate?stream=iterations", multitaskDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	overlapped := false
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		var probe struct {
+			Done        bool `json:"done"`
+			MaxInFlight int  `json:"max_in_flight"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", line, err)
+		}
+		if !probe.Done && probe.MaxInFlight > 1 {
+			overlapped = true
+		}
+	}
+	if !overlapped {
+		t.Fatal("no streamed iteration reported >1 instance in flight under partition admission")
+	}
+}
+
 func TestSimulateStreamIterations(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Post(ts.URL+"/v1/simulate?stream=iterations", "application/json",

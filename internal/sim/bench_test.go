@@ -39,3 +39,31 @@ func BenchmarkSimRun(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMultitaskRun measures the event-driven multitask kernel on a
+// double-width (16-tile) platform at partition counts 1, 2 and 4: the
+// cost of the fabric admission loop itself (partitions=1 is whole-
+// fabric admission through the partition path) and how claim
+// granularity changes the hot path. scripts/bench.sh turns this into
+// BENCH_fabric.json next to BENCH_sim.json.
+func BenchmarkMultitaskRun(b *testing.B) {
+	mix := benchMix()
+	p := platform.Default(16)
+	p.ISPs = 1
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			b.ReportAllocs()
+			opt := sim.Options{
+				Approach:   sim.RunTime,
+				Iterations: 100,
+				Seed:       1,
+				Multitask:  sim.Multitask{Mode: "partition", Partitions: parts},
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(mix, p, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

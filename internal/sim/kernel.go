@@ -7,6 +7,7 @@ import (
 
 	"drhwsched/internal/assign"
 	"drhwsched/internal/core"
+	"drhwsched/internal/fabric"
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
 	"drhwsched/internal/platform"
@@ -21,57 +22,82 @@ import (
 // prepared-artifact tables once (newKernel); then every iteration runs
 // the same four stages — the arrival source draws the iteration's task
 // set and order, point selection picks one prepared artifact per
-// arrival (TCM energy-aware selection in deadline mode), instance
-// execution replays each artifact against the carried platform state,
-// and accounting folds the outcome into the aggregate, the streaming
-// tail estimators, and the optional Observer.
+// arrival (TCM energy-aware selection in deadline mode), the
+// event-driven execute stage admits the arrivals onto fabric claims and
+// retires their completions, and accounting folds the outcome into the
+// aggregate, the streaming tail estimators, and the optional Observer.
+//
+// All shared platform run-time state — tile residency, per-tile /
+// per-port / per-ISP availability, the replacement-policy hook — lives
+// in the fabric layer (internal/fabric). The execute stage is an event
+// loop over it: arrivals are admitted FIFO onto disjoint tile claims
+// granted by the configured admission policy (Options.Multitask), run
+// against their claim plus the shared port and ISP timelines, and
+// complete independently; an arrival whose claim does not fit queues
+// until an in-flight instance releases tiles. Under the default serial
+// admission every claim is the whole fabric, the loop degenerates to
+// the sequential back-to-back replay, and the aggregates are
+// bit-identical to the pre-fabric kernel (pinned by the golden tests).
 //
 // All per-instance working memory lives in the kernel's scratch, so the
-// hot path performs no allocations after the first iteration warms the
-// buffers (BenchmarkSimRun tracks this).
+// hot path performs no allocations after the first iterations warm the
+// buffers (BenchmarkSimRun and TestSimRunAllocs track this, for the
+// serial and multitask paths both).
 
 // kernel carries one run's state across the stages.
 type kernel struct {
-	mix    []TaskMix
-	p      platform.Platform
-	opt    Options
-	policy reconfig.Policy
-	rng    *rand.Rand
-	src    ArrivalSource
-	prep   [][]*scenPrep
-	res    *Result
+	mix  []TaskMix
+	p    platform.Platform
+	opt  Options
+	rng  *rand.Rand
+	src  ArrivalSource
+	prep [][]*scenPrep
+	res  *Result
 
-	state    *reconfig.State
-	physFree []model.Time
-	ispFree  []model.Time
-	clock    model.Time
-	portFree model.Time
+	fab        *fabric.Fabric
+	alloc      fabric.Allocation
+	modeName   string
+	partitions int
+	clock      model.Time
 
 	useReuse  bool
 	interTask bool
 
 	mkQ *stats.Quantiles // per-iteration makespan tail (ms)
 	ovQ *stats.Quantiles // per-iteration overhead tail (ms)
+	qdQ *stats.Quantiles // per-instance queueing-delay tail (ms)
+	rtQ *stats.Quantiles // per-instance response-time tail (ms)
+
+	maxInFlight int
 
 	sc scratch
+}
+
+// flight is one admitted, not-yet-retired instance of the execute
+// stage's event loop: the fabric tiles it holds and when it completes.
+type flight struct {
+	seq   int // admission order, the retire tie-break
+	end   model.Time
+	claim []int // physical tiles held until retirement (reused buffer)
 }
 
 // scratch is the per-run reusable working memory of the hot path: the
 // buffers the pre-kernel simulator allocated fresh for every task
 // instance (tile availability vectors, load sets, lookahead streams,
-// the residency map, the per-port floor vector) plus the scratches of
-// the layers below (tile mapping, prefetch evaluation, hybrid replay).
+// the residency map, the in-flight table of the event loop) plus the
+// scratches of the layers below (tile mapping, prefetch evaluation,
+// hybrid replay).
 type scratch struct {
 	todo      []int
 	instances []*prepared
 	curves    []*tcm.Curve
 	scens     []int
 	tileFree  []model.Time
-	ports     []model.Time
 	loads     []graph.SubtaskID
 	future    []graph.ConfigID
 	resident  map[graph.SubtaskID]bool
 	tileLast  []model.Time
+	flights   []flight
 	inst      instance
 
 	mapSc  reconfig.MapScratch
@@ -118,10 +144,10 @@ func validateWeights(mix []TaskMix) error {
 
 // Validate reports the error a Run with these inputs would fail with
 // before any simulation work happens: platform validity, a non-empty
-// mix, degenerate scenario weights, and the arrival process (started
-// against the mix size). Streaming callers use it to reject a bad
-// request before committing a success status to the wire; Run performs
-// the same checks itself.
+// mix, degenerate scenario weights, the arrival process (started
+// against the mix size), and the multitask admission configuration.
+// Streaming callers use it to reject a bad request before committing a
+// success status to the wire; Run performs the same checks itself.
 func Validate(mix []TaskMix, p platform.Platform, opt Options) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -130,6 +156,9 @@ func Validate(mix []TaskMix, p platform.Platform, opt Options) error {
 		return fmt.Errorf("sim: empty task mix")
 	}
 	if err := validateWeights(mix); err != nil {
+		return err
+	}
+	if _, _, _, err := opt.Multitask.resolve(p.Tiles); err != nil {
 		return err
 	}
 	arrivals := opt.Arrivals
@@ -169,12 +198,15 @@ func newKernel(mix []TaskMix, p platform.Platform, opt Options) (*kernel, error)
 	}
 
 	k := &kernel{
-		mix:    mix,
-		p:      p,
-		opt:    opt,
-		policy: policy,
-		rng:    rand.New(rand.NewSource(opt.Seed)),
-		src:    src,
+		mix: mix,
+		p:   p,
+		opt: opt,
+		rng: rand.New(rand.NewSource(opt.Seed)),
+		src: src,
+	}
+	k.alloc, k.modeName, k.partitions, err = opt.Multitask.resolve(p.Tiles)
+	if err != nil {
+		return nil, err
 	}
 	k.useReuse = opt.Approach == RunTime || opt.Approach == RunTimeInterTask || opt.Approach == Hybrid
 	k.interTask = opt.Approach == RunTimeInterTask ||
@@ -187,11 +219,11 @@ func newKernel(mix []TaskMix, p platform.Platform, opt Options) (*kernel, error)
 		return nil, err
 	}
 
-	k.state = reconfig.NewState(p.Tiles)
-	k.physFree = make([]model.Time, p.Tiles)
-	k.ispFree = make([]model.Time, p.ISPs)
+	k.fab = fabric.New(p, policy)
 	k.mkQ = stats.NewQuantiles(0.5, 0.95, 0.99)
 	k.ovQ = stats.NewQuantiles(0.5, 0.95, 0.99)
+	k.qdQ = stats.NewQuantiles(0.5, 0.95, 0.99)
+	k.rtQ = stats.NewQuantiles(0.5, 0.95, 0.99)
 	return k, nil
 }
 
@@ -296,20 +328,23 @@ func (k *kernel) run() (*Result, error) {
 			k.res.DeadlineMisses++
 		}
 
-		// Stage 3: execute the instances back to back.
+		// Stage 3: event-driven execution over the fabric.
 		clock0 := k.clock
 		loads0, reuses0 := k.res.Loads, k.res.Reuses
 		over0 := k.res.ActualTotal - k.res.IdealTotal
-		for seq := range instances {
-			if err := k.runInstance(instances[seq], instances[seq:]); err != nil {
-				return nil, err
-			}
+		peak, err := k.executeIteration(instances)
+		if err != nil {
+			return nil, err
+		}
+		if peak > k.maxInFlight {
+			k.maxInFlight = peak
 		}
 
 		// Stage 4: per-iteration accounting.
 		rec := IterationRecord{
 			Iteration:    iter,
 			Instances:    len(instances),
+			MaxInFlight:  peak,
 			Makespan:     k.clock.Sub(clock0),
 			Overhead:     (k.res.ActualTotal - k.res.IdealTotal) - over0,
 			Loads:        k.res.Loads - loads0,
@@ -367,23 +402,107 @@ func (k *kernel) selectInstances(todo []int) ([]*prepared, bool, error) {
 	return instances, false, nil
 }
 
-// runInstance is the instance-execution stage: reuse + replacement
-// around one prepared artifact, then state advance and accounting.
-// upcoming is the remaining instances of this iteration (this one
-// first) for lookahead policies.
-func (k *kernel) runInstance(pr *prepared, upcoming []*prepared) error {
+// executeIteration is the event-driven execute stage: the iteration's
+// instances all arrive at the current clock, are admitted FIFO onto
+// fabric claims granted by the admission policy (head-of-line blocking
+// keeps the execution order deterministic), run the moment they are
+// admitted, and retire in completion order, releasing their tiles for
+// the queued remainder. It returns the iteration's peak in-flight
+// count.
+//
+// Under serial admission every claim is the whole fabric, so exactly
+// one instance is in flight at a time and the loop reproduces the
+// sequential back-to-back replay bit for bit.
+func (k *kernel) executeIteration(instances []*prepared) (int, error) {
+	sc := &k.sc
+	arrival := k.clock
+	flights := sc.flights[:0]
+	now := arrival
+	peak := 0
+	qi := 0
+	for qi < len(instances) || len(flights) > 0 {
+		// Admission: grant claims to the queue head while one fits.
+		for qi < len(instances) {
+			pr := instances[qi]
+			n := len(flights)
+			if n < cap(flights) {
+				flights = flights[:n+1]
+			} else {
+				flights = append(flights, flight{})
+			}
+			fl := &flights[n]
+			claim, ok := k.fab.Acquire(k.alloc, pr.busyTiles, pr.cfgs, fl.claim[:0])
+			fl.claim = claim
+			if !ok {
+				flights = flights[:n]
+				break
+			}
+			end, err := k.runInstance(pr, instances[qi:], now, claim)
+			if err != nil {
+				sc.flights = flights[:0]
+				return peak, err
+			}
+			fl.seq = qi
+			fl.end = end
+			qi++
+			k.qdQ.Add(now.Sub(arrival).Milliseconds())
+			k.rtQ.Add(end.Sub(arrival).Milliseconds())
+			if len(flights) > peak {
+				peak = len(flights)
+			}
+		}
+		if len(flights) == 0 {
+			// The queue head cannot be admitted even on an idle fabric:
+			// its schedule needs more tiles than any claim can span.
+			pr := instances[qi]
+			sc.flights = flights
+			return peak, fmt.Errorf("sim: instance %q needs %d tiles but %s admission cannot grant them on %d tiles",
+				pr.sched.G.Name, pr.busyTiles, k.modeName, k.p.Tiles)
+		}
+		// Retirement: advance to the earliest completion (admission
+		// order on ties) and release its tiles.
+		best := 0
+		for i := 1; i < len(flights); i++ {
+			if flights[i].end < flights[best].end ||
+				(flights[i].end == flights[best].end && flights[i].seq < flights[best].seq) {
+				best = i
+			}
+		}
+		now = flights[best].end
+		k.fab.Release(flights[best].claim)
+		last := len(flights) - 1
+		flights[best], flights[last] = flights[last], flights[best]
+		flights = flights[:last]
+	}
+	sc.flights = flights
+	if now > k.clock {
+		k.clock = now
+	}
+	return peak, nil
+}
+
+// runInstance executes one admitted instance starting at start on the
+// claimed tiles: reuse + replacement restricted to the claim, replay
+// under the selected approach against the shared port and ISP
+// timelines, then accounting and the eager fabric-state commit (safe
+// because concurrent claims are disjoint). upcoming is the queued
+// remainder of this iteration (this instance first) for lookahead
+// policies. It returns the instance's completion time.
+func (k *kernel) runInstance(pr *prepared, upcoming []*prepared, start model.Time, claim []int) (model.Time, error) {
 	sc := &k.sc
 	res := k.res
 	s := pr.sched
+	f := k.fab
 
 	// Model the run-time scheduler's own CPU cost.
 	if k.opt.SchedulerCost {
 		cost := schedulerCost(k.opt.Approach, s.G.Len())
 		res.SchedCost += cost
-		k.clock = k.clock.Add(cost)
+		start = start.Add(cost)
 	}
 
-	// Reuse + replacement modules (virtual -> physical).
+	// Reuse + replacement modules (virtual -> physical), confined to
+	// the claimed tiles.
 	var critical func(graph.SubtaskID) bool
 	if pr.analysis != nil {
 		sc.curAnalysis = pr.analysis
@@ -399,22 +518,21 @@ func (k *kernel) runInstance(pr *prepared, upcoming []*prepared) error {
 		}
 		sc.future = future
 	}
-	mapping, err := reconfig.MapInto(s, k.state, reconfig.MapOptions{
-		Policy: k.policy, Critical: critical, Future: future,
+	mapping, err := reconfig.MapInto(s, f.State(), reconfig.MapOptions{
+		Policy: f.Policy(), Critical: critical, Future: future, Allowed: claim,
 	}, &sc.mapSc)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var resident map[graph.SubtaskID]bool
 	if k.useReuse {
-		sc.resident = reconfig.ResidentInto(sc.resident, s, k.state, mapping)
+		sc.resident = reconfig.ResidentInto(sc.resident, s, f.State(), mapping)
 		resident = sc.resident
 	}
 
-	taskStart := k.clock
-	loadFloor := taskStart
+	loadFloor := start
 	if k.interTask {
-		loadFloor = model.MinT(k.portFree, taskStart)
+		loadFloor = model.MinT(f.MinPortFree(), start)
 	}
 	rows := len(s.TileOrder)
 	if cap(sc.tileFree) < rows {
@@ -422,21 +540,19 @@ func (k *kernel) runInstance(pr *prepared, upcoming []*prepared) error {
 	}
 	tileFree := sc.tileFree[:rows]
 	for v := 0; v < s.Tiles; v++ {
-		tileFree[v] = k.physFree[mapping.PhysOf[v]]
+		tileFree[v] = f.TileFree(mapping.PhysOf[v])
 	}
 	for v := s.Tiles; v < rows; v++ {
-		tileFree[v] = k.ispFree[v-s.Tiles]
+		tileFree[v] = f.ISPFree(v - s.Tiles)
 	}
-	portFloor := model.MaxT(k.portFree, loadFloor)
 
 	inst, err := k.execute(pr, bounds{
-		taskStart: taskStart,
+		taskStart: start,
 		loadFloor: loadFloor,
-		portFree:  portFloor,
 		tileFree:  tileFree,
 	}, resident)
 	if err != nil {
-		return fmt.Errorf("sim: executing %q: %w", s.G.Name, err)
+		return 0, fmt.Errorf("sim: executing %q: %w", s.G.Name, err)
 	}
 
 	// Account. Reuse and load statistics are relative to the hardware
@@ -452,43 +568,31 @@ func (k *kernel) runInstance(pr *prepared, upcoming []*prepared) error {
 	res.LoadEnergy += float64(inst.loads) * k.p.LoadEnergy
 	res.SavedLoads += pr.hw - inst.loads
 
-	// Advance platform state.
-	k.clock = inst.end
-	k.portFree = inst.portFreeAfter
+	// Advance the shared fabric state. The commit is eager — at
+	// admission, not retirement — which is exact because concurrent
+	// claims are disjoint: only this instance can touch its tiles'
+	// residency and availability until it releases them. (Port and ISP
+	// advances were already made by execute.)
 	for v := 0; v < s.Tiles; v++ {
-		if t := inst.tileLast[v]; t > k.physFree[mapping.PhysOf[v]] {
-			k.physFree[mapping.PhysOf[v]] = t
-		}
+		f.AdvanceTile(mapping.PhysOf[v], inst.tileLast[v])
 	}
 	for v := s.Tiles; v < rows; v++ {
-		if t := inst.tileLast[v]; t > k.ispFree[v-s.Tiles] {
-			k.ispFree[v-s.Tiles] = t
-		}
+		f.AdvanceISP(v-s.Tiles, inst.tileLast[v])
 	}
 	if k.useReuse {
-		reconfig.Commit(s, k.state, mapping, resident, sc.endOfFn)
+		reconfig.Commit(s, f.State(), mapping, resident, sc.endOfFn)
 	}
-	return nil
+	return inst.end, nil
 }
 
 // execute replays one prepared artifact under the selected approach,
-// writing into the scratch instance.
+// writing into the scratch instance. Port availability is read from and
+// written back to the fabric's shared per-port timeline, so instances
+// admitted while this one is in flight contend for the controllers.
 func (k *kernel) execute(pr *prepared, b bounds, resident map[graph.SubtaskID]bool) (*instance, error) {
 	sc := &k.sc
 	s := pr.sched
-	if cap(sc.ports) < k.p.Ports {
-		sc.ports = make([]model.Time, k.p.Ports)
-	}
-	ports := sc.ports[:k.p.Ports]
-	for i := range ports {
-		ports[i] = b.portFree
-	}
-	pb := prefetch.Bounds{
-		ExecFloor: b.taskStart,
-		LoadFloor: b.loadFloor,
-		TileFree:  b.tileFree,
-		PortFree:  ports,
-	}
+	f := k.fab
 
 	inst := &sc.inst
 	switch k.opt.Approach {
@@ -497,22 +601,25 @@ func (k *kernel) execute(pr *prepared, b bounds, resident map[graph.SubtaskID]bo
 		if resident != nil {
 			fn = sc.residentFn
 		}
+		// The hybrid core engine models a single reconfiguration
+		// controller (the paper's platform), so it consumes and
+		// advances port 0 only.
 		r, err := pr.analysis.ExecuteScratch(core.RunBounds{
 			TaskStart: b.taskStart,
-			PortFree:  b.portFree,
+			PortFree:  model.MaxT(f.PortFree()[0], b.loadFloor),
 			TileFree:  b.tileFree,
 		}, fn, &sc.coreSc)
 		if err != nil {
 			return nil, err
 		}
+		f.AdvancePort(0, r.PortFreeAfter)
 		*inst = instance{
-			ideal:         r.Ideal,
-			overhead:      r.Overhead,
-			end:           r.Timeline.End,
-			portFreeAfter: r.PortFreeAfter,
-			loads:         len(r.Plan.InitLoads) + len(r.Plan.BodyLoads),
-			initLoads:     len(r.Plan.InitLoads),
-			cancelled:     len(r.Plan.Cancelled),
+			ideal:     r.Ideal,
+			overhead:  r.Overhead,
+			end:       r.Timeline.End,
+			loads:     len(r.Plan.InitLoads) + len(r.Plan.BodyLoads),
+			initLoads: len(r.Plan.InitLoads),
+			cancelled: len(r.Plan.Cancelled),
 		}
 		inst.tileLast = sc.tileLastFrom(s, r.Timeline)
 		for _, w := range r.InitWindows {
@@ -534,6 +641,12 @@ func (k *kernel) execute(pr *prepared, b bounds, resident map[graph.SubtaskID]bo
 		}
 		s.SortByIdealStart(loads)
 		sc.loads = loads
+		pb := prefetch.Bounds{
+			ExecFloor: b.taskStart,
+			LoadFloor: b.loadFloor,
+			TileFree:  b.tileFree,
+			PortFree:  f.PortFree(),
+		}
 		var r *prefetch.Result
 		var err error
 		switch k.opt.Approach {
@@ -547,12 +660,16 @@ func (k *kernel) execute(pr *prepared, b bounds, resident map[graph.SubtaskID]bo
 		if err != nil {
 			return nil, err
 		}
+		// Carry the full per-port availability vector forward: with
+		// several controllers, a port the instance left idle early is
+		// capacity the next instance may use (it used to be collapsed
+		// to port 0's value, leaking idle controller time).
+		f.SetPortsFrom(r.Timeline.PortFreeAfter)
 		*inst = instance{
-			ideal:         r.Ideal,
-			overhead:      r.Overhead,
-			end:           r.Timeline.End,
-			portFreeAfter: r.Timeline.PortFreeAfter[0],
-			loads:         len(r.PortOrder),
+			ideal:    r.Ideal,
+			overhead: r.Overhead,
+			end:      r.Timeline.End,
+			loads:    len(r.PortOrder),
 		}
 		inst.tileLast = sc.tileLastFrom(s, r.Timeline)
 		sc.tl = r.Timeline
@@ -605,5 +722,18 @@ func (k *kernel) finish() *Result {
 		P95: k.ovQ.Quantile(0.95),
 		P99: k.ovQ.Quantile(0.99),
 	}
+	res.QueueDelay = Tail{
+		P50: k.qdQ.Quantile(0.5),
+		P95: k.qdQ.Quantile(0.95),
+		P99: k.qdQ.Quantile(0.99),
+	}
+	res.ResponseTime = Tail{
+		P50: k.rtQ.Quantile(0.5),
+		P95: k.rtQ.Quantile(0.95),
+		P99: k.rtQ.Quantile(0.99),
+	}
+	res.MultitaskMode = k.modeName
+	res.Partitions = k.partitions
+	res.MaxInFlight = k.maxInFlight
 	return res
 }

@@ -11,9 +11,18 @@ type IterationRecord struct {
 	// Instances is the number of task arrivals executed (0 for an idle
 	// iteration of a trace or on-off gap).
 	Instances int
-	// Makespan is the iteration's wall-clock span: its tasks run back
-	// to back, so this is the end of its last task minus the end of the
-	// previous iteration (including any modelled scheduler CPU cost).
+	// MaxInFlight is the peak number of instances concurrently holding
+	// fabric claims this iteration: 1 whenever anything ran under
+	// serial admission, possibly more under partition/greedy
+	// multitasking.
+	MaxInFlight int
+	// Makespan is the iteration's wall-clock span: the latest
+	// completion among its tasks minus the end of the previous
+	// iteration (including any modelled scheduler CPU cost). Under
+	// serial admission the tasks run back to back, so this is also the
+	// sum of their spans; under partition/greedy multitasking
+	// concurrent instances overlap and the makespan shrinks
+	// accordingly.
 	Makespan model.Dur
 	// Overhead is the reconfiguration overhead this iteration added.
 	Overhead model.Dur

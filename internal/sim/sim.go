@@ -8,9 +8,14 @@
 //
 // The simulator is a staged kernel (see kernel.go): design-time
 // preparation, then per iteration a pluggable arrival draw (Arrivals),
-// Pareto point selection, instance execution on reusable scratch
-// buffers, and accounting that feeds streaming tail estimators and an
-// optional per-iteration Observer.
+// Pareto point selection, event-driven instance execution over the
+// shared fabric layer (internal/fabric) on reusable scratch buffers,
+// and accounting that feeds streaming tail estimators and an optional
+// per-iteration Observer. Options.Multitask selects how instances are
+// admitted onto the fabric: serially (the paper's one-instance-owns-
+// the-FPGA model, the default) or concurrently onto disjoint tile
+// claims (partition / greedy online hardware multitasking), with
+// per-instance queueing-delay and response-time tails in the Result.
 //
 // Five scheduling approaches are selectable, matching the five
 // simulations of §7:
@@ -103,6 +108,12 @@ type Options struct {
 	// paper's Bernoulli draw (under InclusionProb). OnOff produces
 	// bursty Markov-modulated phases; Trace replays a recorded log.
 	Arrivals Arrivals
+	// Multitask selects the fabric admission mode of the execute
+	// stage. The zero value (serial) replays instances one at a time on
+	// the whole fabric, exactly as the paper does; partition and greedy
+	// modes admit an iteration's instances onto disjoint tile claims so
+	// several run concurrently, queueing when nothing fits.
+	Multitask Multitask
 	// Observer, when non-nil, receives one IterationRecord per
 	// iteration, synchronously and in order. Observation never alters
 	// results.
@@ -171,6 +182,24 @@ type Result struct {
 	IterMakespan Tail
 	IterOverhead Tail
 
+	// QueueDelay and ResponseTime summarize the per-instance admission
+	// wait (arrival to fabric claim) and sojourn (arrival to
+	// completion) distributions in milliseconds. Under the serial
+	// default the queueing delay is the time spent behind the
+	// iteration's earlier instances; multitask modes shrink it by
+	// admitting instances onto disjoint tile claims concurrently.
+	QueueDelay   Tail
+	ResponseTime Tail
+
+	// MultitaskMode is the canonical admission-mode name the run
+	// executed under ("serial", "partition", "greedy"); Partitions is
+	// the partition count (0 outside partition mode); MaxInFlight is
+	// the peak number of instances concurrently on the fabric (1 under
+	// serial whenever any instance ran).
+	MultitaskMode string
+	Partitions    int
+	MaxInFlight   int
+
 	// CriticalPct is the average share of critical subtasks across the
 	// analyses used (meaningful for Hybrid only).
 	CriticalPct float64
@@ -202,6 +231,11 @@ type prepared struct {
 	analysis *core.Analysis    // reuse-aware approaches
 	dtOrder  []graph.SubtaskID // DesignTimePrefetch port order
 	hw       int               // hardware (loadable) subtask count
+	// busyTiles is the number of virtual tiles that execute anything —
+	// the fabric claim an instance of this schedule needs; cfgs is its
+	// distinct hardware configuration set (reuse-aware admission).
+	busyTiles int
+	cfgs      []graph.ConfigID
 }
 
 // scenPrep holds everything prepared for one (task, scenario) pair: the
@@ -220,6 +254,21 @@ func makePrepared(s *assign.Schedule, p platform.Platform, approach Approach, an
 	for _, st := range s.G.Subtasks() {
 		if !st.OnISP {
 			pr.hw++
+			found := false
+			for _, c := range pr.cfgs {
+				if c == st.Config {
+					found = true
+					break
+				}
+			}
+			if !found {
+				pr.cfgs = append(pr.cfgs, st.Config)
+			}
+		}
+	}
+	for v := 0; v < s.Tiles; v++ {
+		if len(s.TileOrder[v]) > 0 {
+			pr.busyTiles++
 		}
 	}
 	switch approach {
@@ -253,23 +302,24 @@ func Run(mix []TaskMix, p platform.Platform, opt Options) (*Result, error) {
 }
 
 // bounds carries one instance's boundary conditions in virtual space.
+// Port availability is not here: the execute stage reads the fabric's
+// shared per-port timeline directly and advances it in place, so
+// concurrently admitted instances contend for the controllers.
 type bounds struct {
 	taskStart model.Time
 	loadFloor model.Time
-	portFree  model.Time
 	tileFree  []model.Time
 }
 
 // instance is the outcome of one task arrival.
 type instance struct {
-	ideal         model.Dur
-	overhead      model.Dur
-	end           model.Time
-	portFreeAfter model.Time
-	loads         int
-	initLoads     int
-	cancelled     int
-	tileLast      []model.Time // per virtual tile, last activity end
+	ideal     model.Dur
+	overhead  model.Dur
+	end       model.Time
+	loads     int
+	initLoads int
+	cancelled int
+	tileLast  []model.Time // per virtual tile, last activity end
 }
 
 // drawScenario samples a scenario index under the mix's weights (which

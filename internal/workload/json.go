@@ -41,12 +41,17 @@ import (
 //	        "policy": "lru", "inclusion_prob": 0.8,
 //	        "scheduler_cost": false, "no_intertask": false,
 //	        "deadline_ms": 0,
-//	        "arrivals": {"process": "onoff", "p_on": 0.95}}
+//	        "arrivals": {"process": "onoff", "p_on": 0.95},
+//	        "multitask": {"mode": "partition", "partitions": 2}}
 //
 // The optional "arrivals" block inside "sim" selects the workload
 // arrival process (see ArrivalsDoc): the default Bernoulli draw, a
 // bursty Markov-modulated on-off process, or trace-driven replay of a
-// recorded arrival log.
+// recorded arrival log. The optional "multitask" block (MultitaskDoc)
+// selects the fabric admission mode: serial whole-fabric ownership
+// (the paper's model, the default), fixed tile partitions, or greedy
+// free-tile claims — concurrent modes report per-instance
+// queueing-delay and response-time tails.
 //
 // ParseRun decodes all three blocks at once; absent blocks default to
 // the paper's platform (8 tiles) and the hybrid approach. These blocks
@@ -85,6 +90,37 @@ type SimDoc struct {
 	// Arrivals selects the workload arrival process; absent means the
 	// paper's Bernoulli draw under inclusion_prob.
 	Arrivals *ArrivalsDoc `json:"arrivals,omitempty"`
+	// Multitask selects the fabric admission mode of the execute
+	// stage; absent means serial (one instance owns the whole fabric
+	// at a time, the paper's model).
+	Multitask *MultitaskDoc `json:"multitask,omitempty"`
+}
+
+// MultitaskDoc is the optional fabric admission block inside "sim":
+//
+//	"multitask": {"mode": "serial"}
+//	"multitask": {"mode": "partition", "partitions": 2}
+//	"multitask": {"mode": "greedy"}
+//
+// Partition mode carves the platform's tiles into the given number of
+// fixed blocks (0 means 2) and admits an instance onto the first run
+// of consecutive free blocks that fits it; greedy mode claims exactly
+// the needed free tiles anywhere, preferring ones already holding the
+// instance's configurations. Instances that fit no claim queue until
+// an in-flight instance completes.
+type MultitaskDoc struct {
+	Mode       string `json:"mode"`
+	Partitions int    `json:"partitions,omitempty"`
+}
+
+// Resolve materializes the admission configuration. Partition-count
+// range validation happens when the simulation starts, where the tile
+// count is known.
+func (md *MultitaskDoc) Resolve() (sim.Multitask, error) {
+	if md == nil {
+		return sim.Multitask{}, nil
+	}
+	return ParseMultitask(md.Mode, md.Partitions)
 }
 
 // ArrivalsDoc is the optional arrival-process block inside "sim":
@@ -151,7 +187,7 @@ func (ad *ArrivalsDoc) Resolve(inclusionProb float64) (sim.Arrivals, error) {
 		}
 		return sim.Trace{Iterations: ad.Trace}, nil
 	}
-	return nil, fmt.Errorf("workload: unknown arrival process %q (bernoulli|onoff|trace)", ad.Process)
+	return nil, fmt.Errorf("workload: unknown arrival process %q (%s)", ad.Process, Usage(ArrivalProcesses()))
 }
 
 // TaskDoc describes one dynamic task.
@@ -400,6 +436,9 @@ func (sd *SimDoc) Resolve() (sim.Options, error) {
 	if opt.Arrivals, err = sd.Arrivals.Resolve(sd.InclusionProb); err != nil {
 		return opt, err
 	}
+	if opt.Multitask, err = sd.Multitask.Resolve(); err != nil {
+		return opt, err
+	}
 	return opt, nil
 }
 
@@ -419,7 +458,7 @@ func ParseApproach(name string) (sim.Approach, error) {
 	case "run-time+inter-task":
 		return sim.RunTimeInterTask, nil
 	}
-	return 0, fmt.Errorf("workload: unknown approach %q (no-prefetch|design-time|run-time|run-time+inter-task|hybrid)", name)
+	return 0, fmt.Errorf("workload: unknown approach %q (%s)", name, Usage(Approaches()))
 }
 
 // ParsePolicy maps the wire name of a replacement policy ("" means
@@ -436,5 +475,18 @@ func ParsePolicy(name string, seed int64) (reconfig.Policy, bool, error) {
 	case "random":
 		return reconfig.Random{Rng: rand.New(rand.NewSource(seed))}, false, nil
 	}
-	return nil, false, fmt.Errorf("workload: unknown policy %q (lru|fifo|belady|random)", name)
+	return nil, false, fmt.Errorf("workload: unknown policy %q (%s)", name, Usage(Policies()))
+}
+
+// ParseMultitask maps the wire form of the fabric admission mode ("" or
+// "serial" means the paper's one-instance-at-a-time model). partitions
+// is the fixed block count of partition mode (0 keeps the sim default
+// of 2); range validation against the platform's tile count happens
+// when the simulation starts.
+func ParseMultitask(mode string, partitions int) (sim.Multitask, error) {
+	switch mode {
+	case "", "serial", "partition", "greedy":
+		return sim.Multitask{Mode: mode, Partitions: partitions}, nil
+	}
+	return sim.Multitask{}, fmt.Errorf("workload: unknown multitask mode %q (%s)", mode, Usage(MultitaskModes()))
 }

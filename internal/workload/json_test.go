@@ -214,6 +214,7 @@ func TestParseRunErrors(t *testing.T) {
 	cases := map[string]string{
 		"bad approach":   `{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}],"sim":{"approach":"psychic"}}`,
 		"bad policy":     `{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}],"sim":{"policy":"crystal"}}`,
+		"bad multitask":  `{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}],"sim":{"multitask":{"mode":"anarchy"}}}`,
 		"negative tiles": `{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}],"platform":{"tiles":-3}}`,
 		"empty mix":      `{"tasks":[],"platform":{"tiles":4}}`,
 	}
@@ -221,6 +222,44 @@ func TestParseRunErrors(t *testing.T) {
 		if _, err := ParseRun([]byte(doc)); err == nil {
 			t.Errorf("%s: want error", name)
 		}
+	}
+}
+
+func TestParseRunMultitaskBlock(t *testing.T) {
+	withSim := func(block string) string {
+		doc := strings.TrimSuffix(strings.TrimSpace(sampleMix), "}")
+		return doc + `, "platform": {"tiles": 16, "isps": 1}, "sim": ` + block + `}`
+	}
+
+	spec, err := ParseRun([]byte(withSim(`{"multitask": {"mode": "partition", "partitions": 4}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (sim.Multitask{Mode: "partition", Partitions: 4}); spec.Options.Multitask != want {
+		t.Fatalf("multitask block = %+v, want %+v", spec.Options.Multitask, want)
+	}
+
+	// Absent block keeps the serial default; partitions default to the
+	// sim layer's 2 at run start, not at parse time.
+	spec, err = ParseRun([]byte(withSim(`{"approach": "run-time"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Options.Multitask != (sim.Multitask{}) {
+		t.Fatalf("absent multitask block resolved to %+v", spec.Options.Multitask)
+	}
+
+	// A document pinning a multitask mode runs end to end.
+	spec, err = ParseRun([]byte(withSim(`{"approach": "run-time", "iterations": 5, "multitask": {"mode": "greedy"}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(spec.Mix, spec.Platform, spec.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MultitaskMode != "greedy" {
+		t.Fatalf("run executed under %q, want greedy", r.MultitaskMode)
 	}
 }
 

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"strings"
+
+	"drhwsched/internal/sim"
+)
+
+// The wire-name registries. Every name a parser in this package accepts
+// appears in exactly one of these slices, and the parsers build their
+// usage/error text from them — so a new approach, policy, arrival
+// process or multitask mode added here is automatically advertised by
+// cmd/drhwsim's flag help and by parse errors, and cannot silently
+// drift out of the docs (TestRegistriesMatchParsers pins the
+// agreement).
+
+// Approaches lists the canonical scheduling-approach wire names in
+// paper order. ParseApproach additionally accepts "" (hybrid) and the
+// "design-time-prefetch" long form.
+func Approaches() []string {
+	return []string{"no-prefetch", "design-time", "run-time", "run-time+inter-task", "hybrid"}
+}
+
+// Policies lists the replacement-policy wire names ParsePolicy accepts
+// ("" means lru).
+func Policies() []string {
+	return []string{"lru", "fifo", "belady", "random"}
+}
+
+// ArrivalProcesses lists the arrival-process wire names the
+// sim.arrivals JSON block and drhwsim -arrivals accept ("" means
+// bernoulli).
+func ArrivalProcesses() []string {
+	return []string{"bernoulli", "onoff", "trace"}
+}
+
+// MultitaskModes lists the fabric admission-mode wire names the
+// sim.multitask JSON block and drhwsim -multitask accept ("" means
+// serial). It is sim.MultitaskModes, re-exported so CLI and service
+// layers have one registry package.
+func MultitaskModes() []string { return sim.MultitaskModes() }
+
+// Usage renders a registry as the "a|b|c" alternation shared by flag
+// usage strings and parse errors, so the two can never format the
+// accepted names differently.
+func Usage(names []string) string { return strings.Join(names, "|") }

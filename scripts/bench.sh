@@ -1,19 +1,50 @@
 #!/usr/bin/env bash
-# bench.sh — run the simulation and engine benchmarks with -benchmem and
-# emit BENCH_sim.json: one record per benchmark with ns/op, B/op and
-# allocs/op. CI uploads the file as an artifact so the performance
-# trajectory (especially the sim hot path's allocation budget) has data
-# points across commits.
+# bench.sh — run the simulation, engine and fabric benchmarks with
+# -benchmem and emit two JSON artifacts:
 #
-#   BENCH_OUT=path      output file (default BENCH_sim.json)
-#   BENCHTIME=5x        -benchtime for BenchmarkSimRun
-#   SWEEP_BENCHTIME=3x  -benchtime for BenchmarkEngineSweep
+#   BENCH_sim.json     sim kernel (per approach) + engine sweep
+#   BENCH_fabric.json  multitask kernel at partition counts 1/2/4
+#
+# One record per benchmark with ns/op, B/op and allocs/op. CI uploads
+# both files as artifacts so the performance trajectory (especially the
+# hot paths' allocation budgets) has data points across commits.
+#
+#   BENCH_OUT=path         sim output file (default BENCH_sim.json)
+#   FABRIC_OUT=path        fabric output file (default BENCH_fabric.json)
+#   BENCHTIME=5x           -benchtime for BenchmarkSimRun
+#   SWEEP_BENCHTIME=3x     -benchtime for BenchmarkEngineSweep
+#   FABRIC_BENCHTIME=5x    -benchtime for BenchmarkMultitaskRun
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${BENCH_OUT:-BENCH_sim.json}"
+FABRIC="${FABRIC_OUT:-BENCH_fabric.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+FABRIC_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$FABRIC_RAW"' EXIT
+
+# to_json RAWFILE OUTFILE: fold `go test -bench` lines into a JSON array.
+to_json() {
+    awk '
+    function unitkey(u) {
+        gsub(/\//, "_per_", u)
+        gsub(/[^A-Za-z0-9_]/, "_", u)
+        sub(/_per_op$/, "_op", u)
+        return u
+    }
+    /^Benchmark/ {
+        if (n++) printf ",\n"
+        printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
+        for (i = 3; i + 1 <= NF; i += 2) {
+            printf ", \"%s\": %s", unitkey($(i + 1)), $i
+        }
+        printf "}"
+    }
+    BEGIN { printf "[\n" }
+    END { printf "\n]\n" }
+    ' "$1" > "$2"
+    echo "wrote $2 ($(grep -c '"name"' "$2") benchmarks)"
+}
 
 echo "== sim kernel benchmarks =="
 go test -run '^$' -bench 'BenchmarkSimRun' -benchmem \
@@ -23,23 +54,9 @@ echo "== engine sweep benchmark =="
 go test -run '^$' -bench 'BenchmarkEngineSweep' -benchmem \
     -benchtime "${SWEEP_BENCHTIME:-3x}" . | tee -a "$RAW"
 
-awk '
-function unitkey(u) {
-    gsub(/\//, "_per_", u)
-    gsub(/[^A-Za-z0-9_]/, "_", u)
-    sub(/_per_op$/, "_op", u)
-    return u
-}
-/^Benchmark/ {
-    if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
-    for (i = 3; i + 1 <= NF; i += 2) {
-        printf ", \"%s\": %s", unitkey($(i + 1)), $i
-    }
-    printf "}"
-}
-BEGIN { printf "[\n" }
-END { printf "\n]\n" }
-' "$RAW" > "$OUT"
+echo "== multitask fabric benchmarks =="
+go test -run '^$' -bench 'BenchmarkMultitaskRun' -benchmem \
+    -benchtime "${FABRIC_BENCHTIME:-5x}" ./internal/sim | tee "$FABRIC_RAW"
 
-echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
+to_json "$RAW" "$OUT"
+to_json "$FABRIC_RAW" "$FABRIC"
