@@ -45,6 +45,10 @@ experiments: ## regenerate every table and figure of the paper
 serve: ## run the drhwd scheduling service on :8080
 	$(GO) run ./cmd/drhwd -addr 127.0.0.1:8080
 
+.PHONY: bench-cluster
+bench-cluster: ## coordinator sweep throughput at 1 vs 2 replicas, emitting BENCH_cluster.json
+	./scripts/bench_cluster.sh
+
 .PHONY: loadtest
-loadtest: ## boot drhwd, drive it with drhwload, assert 2xx + cache hits
+loadtest: ## smoke test: drhwd under load, then drhwcoord over 2 replicas diffed against single node
 	./scripts/smoke.sh

@@ -6,10 +6,16 @@
 //
 // Usage:
 //
-//	drhwload -url http://127.0.0.1:8080 [-duration 5s] [-rps 20]
+//	drhwload -target http://127.0.0.1:8080[,URL...] [-target URL ...]
+//	         [-duration 5s] [-rps 20]
 //	         [-concurrency 8] [-iterations 60] [-seeds 3]
 //	         [-endpoints analyze,simulate]
 //	         [-require-2xx 1.0] [-require-cache-hits]
+//
+// -target is repeatable (and accepts comma-separated lists); requests
+// round-robin across the targets, so a replica pool can be driven
+// directly without a load balancer in front. -url remains as an alias
+// for a single target.
 //
 // The loop is closed: -concurrency workers each issue the next request
 // only after the previous response, and a pacer caps the aggregate rate
@@ -17,7 +23,7 @@
 // target instead of queueing unboundedly). Simulate requests rotate
 // through -seeds distinct seeds per document, so repeated requests
 // exercise the engine's analysis cache — the CI smoke test asserts the
-// hits are non-zero via -require-cache-hits.
+// hits are non-zero via -require-cache-hits (summed across targets).
 package main
 
 import (
@@ -103,6 +109,21 @@ func buildCorpus(endpoints []string, iterations, seeds int) ([]corpusItem, error
 	return corpus, nil
 }
 
+// targetList collects repeated -target flags, each of which may itself
+// be a comma-separated list.
+type targetList []string
+
+func (l *targetList) String() string { return strings.Join(*l, ",") }
+
+func (l *targetList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			*l = append(*l, strings.TrimRight(u, "/"))
+		}
+	}
+	return nil
+}
+
 // cacheHits scrapes drhwd_engine_cache_hits_total from /metrics.
 func cacheHits(client *http.Client, base string) (int64, error) {
 	resp, err := client.Get(base + "/metrics")
@@ -129,8 +150,9 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 func main() {
+	var targets targetList
 	var (
-		url         = flag.String("url", "http://127.0.0.1:8080", "base URL of the drhwd service")
+		url         = flag.String("url", "", "base URL of a single drhwd service (alias for one -target)")
 		duration    = flag.Duration("duration", 5*time.Second, "how long to drive load")
 		rps         = flag.Float64("rps", 20, "target aggregate request rate")
 		concurrency = flag.Int("concurrency", 8, "closed-loop worker count")
@@ -138,8 +160,9 @@ func main() {
 		seeds       = flag.Int("seeds", 3, "distinct seeds per simulate document (cache-hit variety)")
 		endpoints   = flag.String("endpoints", "analyze,simulate", "comma-separated endpoint mix")
 		require2xx  = flag.Float64("require-2xx", -1, "exit non-zero unless the 2xx rate reaches this fraction (e.g. 1.0)")
-		requireHits = flag.Bool("require-cache-hits", false, "exit non-zero unless the engine reports cache hits > 0")
+		requireHits = flag.Bool("require-cache-hits", false, "exit non-zero unless the engines report cache hits > 0")
 	)
+	flag.Var(&targets, "target", "drhwd base URL (repeatable; accepts comma-separated lists; round-robin)")
 	flag.Parse()
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "drhwload: "+format+"\n", args...)
@@ -153,15 +176,22 @@ func main() {
 		fail("%v", err)
 	}
 
+	if *url != "" {
+		targets.Set(*url)
+	}
+	if len(targets) == 0 {
+		targets.Set("http://127.0.0.1:8080")
+	}
 	client := &http.Client{Timeout: 2 * *duration}
-	base := strings.TrimRight(*url, "/")
-	if resp, err := client.Get(base + "/healthz"); err != nil {
-		fail("service not reachable: %v", err)
-	} else {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			fail("healthz returned %d", resp.StatusCode)
+	for _, base := range targets {
+		if resp, err := client.Get(base + "/healthz"); err != nil {
+			fail("target %s not reachable: %v", base, err)
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail("target %s healthz returned %d", base, resp.StatusCode)
+			}
 		}
 	}
 
@@ -176,6 +206,7 @@ func main() {
 			defer wg.Done()
 			for i := range work {
 				item := corpus[i%len(corpus)]
+				base := targets[i%len(targets)] // round-robin over the pool
 				start := time.Now()
 				resp, err := client.Post(base+"/v1/"+item.endpoint, "application/json", bytes.NewReader(item.body))
 				r := result{latency: time.Since(start), err: err}
@@ -235,7 +266,7 @@ func main() {
 	rate := float64(ok2xx) / float64(total)
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
-	fmt.Printf("target              %.1f rps for %v (%d workers, corpus of %d)\n", *rps, *duration, *concurrency, len(corpus))
+	fmt.Printf("target              %.1f rps for %v (%d workers, corpus of %d, %d targets)\n", *rps, *duration, *concurrency, len(corpus), len(targets))
 	fmt.Printf("requests            %d (%.1f rps achieved)\n", total, float64(total)/elapsed.Seconds())
 	fmt.Printf("2xx                 %d (%.1f%%), transport errors %d\n", ok2xx, 100*rate, errored)
 	codes := make([]int, 0, len(byStatus))
@@ -252,22 +283,31 @@ func main() {
 		percentile(all, 0.99).Round(time.Microsecond),
 		all[len(all)-1].Round(time.Microsecond))
 
-	hits, err := cacheHits(client, base)
-	if err != nil {
-		fmt.Printf("cache hits          unavailable (%v)\n", err)
+	var hits int64
+	var hitsErr error
+	for _, base := range targets {
+		h, err := cacheHits(client, base)
+		if err != nil {
+			hitsErr = fmt.Errorf("%s: %w", base, err)
+			continue
+		}
+		hits += h
+	}
+	if hitsErr != nil {
+		fmt.Printf("cache hits          %d (partial; %v)\n", hits, hitsErr)
 	} else {
-		fmt.Printf("cache hits          %d (engine-wide)\n", hits)
+		fmt.Printf("cache hits          %d (summed across %d targets)\n", hits, len(targets))
 	}
 
 	if *require2xx >= 0 && rate < *require2xx {
 		fail("2xx rate %.3f below required %.3f", rate, *require2xx)
 	}
 	if *requireHits {
-		if err != nil {
-			fail("cache hits required but unreadable: %v", err)
+		if hitsErr != nil {
+			fail("cache hits required but unreadable: %v", hitsErr)
 		}
 		if hits <= 0 {
-			fail("cache hits required but engine reports %d", hits)
+			fail("cache hits required but engines report %d", hits)
 		}
 	}
 }

@@ -33,7 +33,13 @@
 //     worker pool;
 //   - the scheduling service (NewServer, ListenAndServe): the HTTP/JSON
 //     daemon of cmd/drhwd, serving analyze/simulate/sweep over one
-//     shared engine with admission control and streaming sweeps.
+//     shared engine with admission control and streaming sweeps;
+//   - the cluster coordinator (NewCoordinator): the daemon of
+//     cmd/drhwcoord, sharding sweeps across a pool of drhwd replicas
+//     by analysis fingerprint on a consistent-hash ring, merging the
+//     cell streams and retrying failed replicas; the engine's analysis
+//     cache sits behind the AnalysisStore seam (NewLRUStore is the
+//     default), so replicas can plug in shared backends.
 //
 // # Quick start
 //
@@ -55,6 +61,7 @@ import (
 	"context"
 
 	"drhwsched/internal/assign"
+	"drhwsched/internal/cluster"
 	"drhwsched/internal/core"
 	"drhwsched/internal/engine"
 	"drhwsched/internal/fabric"
@@ -317,12 +324,20 @@ type (
 	SweepResult = engine.RunResult
 	// CacheStats snapshots the engine's analysis-cache counters.
 	CacheStats = engine.CacheStats
+	// AnalysisStore is the engine's pluggable analysis-cache backend
+	// (Get/Put/Stats). The engine deduplicates concurrent misses above
+	// the store, so implementations only need plain lookup semantics.
+	AnalysisStore = engine.Store
 )
 
 // NewEngine creates an engine. The zero config means GOMAXPROCS
 // workers and a 256-entry analysis cache; create one engine per
 // process so every run shares the cache.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// NewLRUStore returns the default analysis-cache backend: a bounded
+// in-memory LRU (capacity <= 0 means 256 entries).
+func NewLRUStore(capacity int) AnalysisStore { return engine.NewLRUStore(capacity) }
 
 // Scheduling service (the drhwd daemon's serving layer).
 type (
@@ -348,3 +363,22 @@ func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 func ListenAndServe(ctx context.Context, addr string, cfg ServerConfig) error {
 	return server.New(cfg).ListenAndServe(ctx, addr)
 }
+
+// Cluster coordination (the drhwcoord daemon's fabric).
+type (
+	// Coordinator shards /v1/sweep grids across a pool of drhwd
+	// replicas by analysis fingerprint on a consistent-hash ring,
+	// merges the replicas' NDJSON cell streams (global indices
+	// preserved) and retries undelivered cells on surviving replicas
+	// when a replica dies or stalls. It implements http.Handler.
+	Coordinator = cluster.Coordinator
+	// CoordinatorConfig names the replica pool and tunes sharding,
+	// admission, stream-idle detection and retry backoff.
+	CoordinatorConfig = cluster.Config
+)
+
+// NewCoordinator builds a coordinator over cfg.Replicas (at least one
+// drhwd base URL is required). Mount it on any mux, or run it with its
+// ListenAndServe; cmd/drhwcoord is this plus flags and signal
+// handling.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) { return cluster.New(cfg) }

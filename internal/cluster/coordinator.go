@@ -1,0 +1,571 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"drhwsched/internal/server"
+)
+
+// Config sizes a coordinator. Replicas is required; everything else
+// has usable defaults.
+type Config struct {
+	// Replicas are the drhwd base URLs forming the pool. Every sweep
+	// starts from the full configured pool, so a replica that failed
+	// during one request is probed again by the next.
+	Replicas []string
+	// VNodes is the consistent-hash points per replica; zero or
+	// negative means DefaultVNodes.
+	VNodes int
+	// MaxInFlight bounds concurrently admitted sweeps (healthz and
+	// metrics are exempt); excess requests are refused with 429. Zero
+	// or negative means 2×GOMAXPROCS.
+	MaxInFlight int
+	// MaxSubtasks and MaxSweepCells mirror drhwd's admission bounds
+	// (413 when exceeded); zero or negative means 4096 and 1024. The
+	// coordinator checks them before fanning out, so an oversized
+	// request never touches the pool.
+	MaxSubtasks   int
+	MaxSweepCells int
+	// MaxBodyBytes bounds the request body; zero or negative means
+	// 1 MiB.
+	MaxBodyBytes int64
+	// StreamIdleTimeout bounds the silence on one replica's cell
+	// stream before the coordinator declares it dead and retries its
+	// remaining cells elsewhere. Zero or negative means 60 s.
+	StreamIdleTimeout time.Duration
+	// MaxRetryWaves caps how many times the coordinator re-hashes the
+	// ring and re-dispatches undelivered cells after replica failures.
+	// Zero or negative means 3.
+	MaxRetryWaves int
+	// RetryBackoff is the first wave's backoff; it doubles per wave up
+	// to MaxRetryBackoff. Zero or negative means 100 ms and 2 s.
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+	// DrainTimeout is how long Serve waits for in-flight requests on
+	// shutdown. Zero or negative means 10 s.
+	DrainTimeout time.Duration
+	// HTTPClient issues the replica requests; nil means a client
+	// without an overall timeout (streams are bounded by
+	// StreamIdleTimeout instead).
+	HTTPClient *http.Client
+	// Logf receives lifecycle log lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSubtasks <= 0 {
+		c.MaxSubtasks = 4096
+	}
+	if c.MaxSweepCells <= 0 {
+		c.MaxSweepCells = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.StreamIdleTimeout <= 0 {
+		c.StreamIdleTimeout = 60 * time.Second
+	}
+	if c.MaxRetryWaves <= 0 {
+		c.MaxRetryWaves = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.MaxRetryBackoff <= 0 {
+		c.MaxRetryBackoff = 2 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+}
+
+// Coordinator accepts drhwd's /v1/sweep request shape, shards the grid
+// across the replica pool by analysis fingerprint, merges the per-cell
+// NDJSON streams in completion order (global indices preserved), and
+// retries undelivered cells on surviving replicas when a replica fails
+// or stalls. It implements http.Handler; cmd/drhwcoord runs it via
+// ListenAndServe.
+type Coordinator struct {
+	cfg      Config
+	replicas []*Replica
+	mux      *http.ServeMux
+	metrics  *metrics
+	inflight chan struct{}
+}
+
+// New builds a coordinator over cfg.Replicas.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.fillDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas configured")
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		metrics:  newMetrics(),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+	}
+	seen := map[string]bool{}
+	for _, u := range cfg.Replicas {
+		r := newReplica(u, cfg.HTTPClient)
+		if r.URL == "" || seen[r.URL] {
+			continue
+		}
+		seen[r.URL] = true
+		c.replicas = append(c.replicas, r)
+	}
+	if len(c.replicas) == 0 {
+		return nil, fmt.Errorf("cluster: no usable replica URLs")
+	}
+	c.mux.Handle("/healthz", c.instrument("healthz", http.MethodGet, false, c.handleHealthz))
+	c.mux.Handle("/metrics", c.instrument("metrics", http.MethodGet, false, c.handleMetrics))
+	c.mux.Handle("/v1/sweep", c.instrument("sweep", http.MethodPost, true, c.handleSweep))
+	return c, nil
+}
+
+// Replicas lists the configured pool.
+func (c *Coordinator) Replicas() []string {
+	out := make([]string, len(c.replicas))
+	for i, r := range c.replicas {
+		out[i] = r.URL
+	}
+	return out
+}
+
+// ServeHTTP dispatches to the coordinator's routes.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Serve runs the coordinator on l until ctx is canceled, then drains
+// in-flight requests for up to DrainTimeout.
+func (c *Coordinator) Serve(ctx context.Context, l net.Listener) error {
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	hs := &http.Server{
+		Handler:           c,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return base },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	c.logf("drhwcoord: shutdown requested, draining for up to %v", c.cfg.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), c.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	if err != nil {
+		cancelBase()
+		hs.Close()
+	}
+	<-errc
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	c.logf("drhwcoord: drained")
+	return nil
+}
+
+// ListenAndServe binds addr (host:0 picks an ephemeral port; the bound
+// address is logged via Config.Logf) and serves until ctx is canceled.
+func (c *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	c.logf("drhwcoord: listening on %s (replicas=%d, vnodes=%d, idle=%v)",
+		l.Addr(), len(c.replicas), c.cfg.VNodes, c.cfg.StreamIdleTimeout)
+	return c.Serve(ctx, l)
+}
+
+// httpErr carries a status code out of a handler (the same convention
+// as internal/server, duplicated to keep the daemons independent).
+type httpErr struct {
+	code int
+	msg  string
+}
+
+func (e *httpErr) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpErr{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func tooLarge(format string, args ...any) error {
+	return &httpErr{code: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf(format, args...)}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (c *Coordinator) instrument(endpoint, method string, admit bool, h func(http.ResponseWriter, *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		w := &statusWriter{ResponseWriter: rw, code: http.StatusOK}
+		defer func() { c.metrics.observe(endpoint, w.code) }()
+
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", method))
+			return
+		}
+		if admit {
+			select {
+			case c.inflight <- struct{}{}:
+				defer func() { <-c.inflight }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Sprintf("coordinator at capacity (%d requests in flight)", c.cfg.MaxInFlight))
+				return
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+		}
+
+		err := h(w, r)
+		if err == nil {
+			return
+		}
+		if w.wrote {
+			// Mid-stream failure: the missing done=true summary line
+			// tells the client; just log.
+			c.logf("drhwcoord: %s: late error: %v", endpoint, err)
+			return
+		}
+		var he *httpErr
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &he):
+			writeError(w, he.code, he.msg)
+		case errors.As(err, &mbe):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		case errors.Is(err, context.Canceled):
+			c.logf("drhwcoord: %s: canceled: %v", endpoint, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+	})
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// HealthResponse is the coordinator's /healthz body: the pool's
+// per-replica health (identity and cache counters as each replica
+// reported them). Status is "ok" while at least one replica answers.
+type HealthResponse struct {
+	Status   string          `json:"status"`
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	out := make([]ReplicaHealth, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range c.replicas {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = rep.Health(ctx)
+		}()
+	}
+	wg.Wait()
+	resp := HealthResponse{Status: "down", Replicas: out}
+	for _, h := range out {
+		if h.OK {
+			resp.Status = "ok"
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c.metrics.render(w, len(c.replicas))
+	return nil
+}
+
+// SweepSummary terminates the coordinator's merged stream: the global
+// cell accounting plus the fan-out telemetry (shards issued, cells
+// retried, retry waves, surviving replicas) and the replica cache
+// counters summed over the pool. A client that never sees done=true
+// knows its sweep was cut short.
+type SweepSummary struct {
+	Done         bool             `json:"done"`
+	Cells        int              `json:"cells"`
+	Delivered    int              `json:"delivered"`
+	Errors       int              `json:"errors"`
+	Replicas     int              `json:"replicas"`
+	Shards       int              `json:"shards"`
+	RetriedCells int              `json:"retried_cells"`
+	RetryWaves   int              `json:"retry_waves"`
+	Cache        server.CacheWire `json:"cache"`
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) error {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err
+	}
+	var req server.SweepRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return badRequest("sweep: parsing request: %v", err)
+	}
+	grid, err := ParseGrid(&req)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	if n := grid.Subtasks(); n > c.cfg.MaxSubtasks {
+		return tooLarge("document has %d subtasks, limit is %d", n, c.cfg.MaxSubtasks)
+	}
+	if cells := grid.Cells(); cells > c.cfg.MaxSweepCells {
+		return tooLarge("sweep grid has %d cells, limit is %d", cells, c.cfg.MaxSweepCells)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush() // commit the headers before the first shard answers
+	}
+	sum, err := c.runSweep(r.Context(), grid, w)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(sum); err != nil {
+		return fmt.Errorf("sweep: writing summary: %w", err)
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
+}
+
+// shardOut is one sub-sweep's outcome.
+type shardOut struct {
+	url string
+	sum *server.SweepSummary
+	err error
+}
+
+// runSweep fans the grid out over the pool and merges the cell streams
+// into w, retrying undelivered cells when replicas fail. On success the
+// returned summary accounts for every grid cell exactly once.
+func (c *Coordinator) runSweep(parent context.Context, grid *Grid, w http.ResponseWriter) (*SweepSummary, error) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	live := map[string]*Replica{}
+	for _, r := range c.replicas {
+		live[r.URL] = r
+	}
+	delivered := make([]bool, grid.Cells())
+	pending := make([]int, len(grid.Values)) // value positions with undelivered cells
+	for vi := range pending {
+		pending[vi] = vi
+	}
+
+	// The merge: every replica stream funnels through mu into one
+	// NDJSON writer. Cells are deduplicated by global index, so a
+	// retried value whose earlier cells did arrive never double-emits.
+	var mu sync.Mutex
+	var writeErr error
+	enc := json.NewEncoder(w)
+	deliveredCount, errCells := 0, 0
+	onCell := func(vis []int, cell server.SweepCell) {
+		li := cell.Index % len(grid.Lines)
+		lvi := cell.Index / len(grid.Lines)
+		if lvi >= len(vis) || li >= len(grid.Lines) {
+			return // malformed replica index; the cell stays pending
+		}
+		gi := grid.Index(vis[lvi], li)
+		mu.Lock()
+		defer mu.Unlock()
+		if delivered[gi] || writeErr != nil {
+			return
+		}
+		cell.Index = gi
+		if err := enc.Encode(cell); err != nil {
+			writeErr = err
+			cancel() // the client is gone; unwind every replica stream
+			return
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		delivered[gi] = true
+		deliveredCount++
+		if cell.Error != "" {
+			errCells++
+		}
+	}
+
+	summaries := map[string]server.SweepSummary{} // latest per replica
+	totalShards, retriedCells, failures, waves := 0, 0, 0, 0
+	for {
+		if len(live) == 0 {
+			return nil, fmt.Errorf("no replicas left with %d cells undelivered", grid.Cells()-deliveredCount)
+		}
+		urls := make([]string, 0, len(live))
+		for u := range live {
+			urls = append(urls, u)
+		}
+		ring := NewRing(urls, c.cfg.VNodes)
+		assignment := grid.Assign(ring, pending)
+
+		results := make(chan shardOut, len(assignment))
+		for url, vis := range assignment {
+			rep, vis := live[url], vis
+			values := make([]int, len(vis))
+			for i, vi := range vis {
+				values[i] = grid.Values[vi]
+			}
+			sub := server.SweepRequest{
+				Workload:   grid.Raw,
+				Param:      grid.Param,
+				Values:     values,
+				Approaches: grid.Lines,
+			}
+			go func() {
+				sum, err := rep.SweepShard(ctx, sub, c.cfg.StreamIdleTimeout, func(cell server.SweepCell) {
+					onCell(vis, cell)
+				})
+				results <- shardOut{url: rep.URL, sum: sum, err: err}
+			}()
+		}
+		totalShards += len(assignment)
+		for range assignment {
+			out := <-results
+			if out.err != nil {
+				if ctx.Err() == nil {
+					c.logf("drhwcoord: replica %s failed mid-sweep: %v", out.url, out.err)
+					failures++
+					delete(live, out.url)
+				}
+				continue
+			}
+			summaries[out.url] = *out.sum
+		}
+		mu.Lock()
+		wErr := writeErr
+		mu.Unlock()
+		if wErr != nil {
+			return nil, fmt.Errorf("writing cell: %w", wErr)
+		}
+		if err := parent.Err(); err != nil {
+			return nil, err
+		}
+
+		pending = pending[:0]
+		missing := 0
+		for vi := range grid.Values {
+			undone := 0
+			for li := range grid.Lines {
+				if !delivered[grid.Index(vi, li)] {
+					undone++
+				}
+			}
+			if undone > 0 {
+				pending = append(pending, vi)
+				missing += undone
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		waves++
+		retriedCells += missing
+		if waves > c.cfg.MaxRetryWaves {
+			return nil, fmt.Errorf("%d cells undelivered after %d retry waves", missing, c.cfg.MaxRetryWaves)
+		}
+		backoff := min(c.cfg.RetryBackoff<<(waves-1), c.cfg.MaxRetryBackoff)
+		c.logf("drhwcoord: retry wave %d: %d cells across %d values, backoff %v, %d replicas left",
+			waves, missing, len(pending), backoff, len(live))
+		select {
+		case <-time.After(backoff):
+		case <-parent.Done():
+			return nil, parent.Err()
+		}
+	}
+
+	sum := &SweepSummary{
+		Done:         true,
+		Cells:        grid.Cells(),
+		Delivered:    deliveredCount,
+		Errors:       errCells,
+		Replicas:     len(live),
+		Shards:       totalShards,
+		RetriedCells: retriedCells,
+		RetryWaves:   waves,
+	}
+	for _, s := range summaries {
+		sum.Cache.Hits += s.Cache.Hits
+		sum.Cache.Misses += s.Cache.Misses
+		sum.Cache.Evictions += s.Cache.Evictions
+		sum.Cache.Entries += s.Cache.Entries
+	}
+	if total := sum.Cache.Hits + sum.Cache.Misses; total > 0 {
+		sum.Cache.HitRate = float64(sum.Cache.Hits) / float64(total)
+	}
+	c.metrics.sweepDone(deliveredCount, retriedCells, failures, totalShards)
+	return sum, nil
+}

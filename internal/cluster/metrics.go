@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics aggregates the coordinator's counters for /metrics. The
+// shapes mirror drhwd's metrics so one scrape config covers both tiers
+// of the fabric; names use the drhwcoord_ prefix.
+type metrics struct {
+	mu              sync.Mutex
+	started         time.Time
+	requests        map[string]map[int]int64 // endpoint → status code → count
+	sweeps          int64                    // completed coordinator sweeps
+	cells           int64                    // cells merged into client streams
+	cellRetries     int64                    // cells re-dispatched after a replica failure
+	replicaFailures int64                    // replica streams abandoned (error or idle timeout)
+	shards          int64                    // sub-sweeps issued (including retry waves)
+}
+
+func newMetrics() *metrics {
+	return &metrics{started: time.Now(), requests: map[string]map[int]int64{}}
+}
+
+func (m *metrics) observe(endpoint string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = map[int]int64{}
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+}
+
+func (m *metrics) sweepDone(cells, retried, failures, shards int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweeps++
+	m.cells += int64(cells)
+	m.cellRetries += int64(retried)
+	m.replicaFailures += int64(failures)
+	m.shards += int64(shards)
+}
+
+// render writes the Prometheus text format. replicas is the configured
+// pool size.
+func (m *metrics) render(w io.Writer, replicas int) {
+	var buf bytes.Buffer
+	m.mu.Lock()
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_uptime_seconds gauge\n")
+	fmt.Fprintf(&buf, "drhwcoord_uptime_seconds %g\n", time.Since(m.started).Seconds())
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_replicas gauge\n")
+	fmt.Fprintf(&buf, "drhwcoord_replicas %d\n", replicas)
+
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_requests_total counter\n")
+	for _, ep := range endpoints {
+		byCode := m.requests[ep]
+		codes := make([]int, 0, len(byCode))
+		for c := range byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&buf, "drhwcoord_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, byCode[c])
+		}
+	}
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_sweeps_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_sweeps_total %d\n", m.sweeps)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_cells_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_cells_total %d\n", m.cells)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_cell_retries_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_cell_retries_total %d\n", m.cellRetries)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_replica_failures_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_replica_failures_total %d\n", m.replicaFailures)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_shards_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_shards_total %d\n", m.shards)
+	m.mu.Unlock()
+	w.Write(buf.Bytes())
+}

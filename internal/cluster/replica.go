@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"drhwsched/internal/server"
+)
+
+// Replica is the coordinator's client for one drhwd process.
+type Replica struct {
+	// URL is the replica's base URL (http://host:port).
+	URL    string
+	client *http.Client
+}
+
+func newReplica(url string, client *http.Client) *Replica {
+	return &Replica{URL: strings.TrimRight(url, "/"), client: client}
+}
+
+// ReplicaHealth is one replica's /healthz snapshot as the coordinator
+// saw it, surfaced on the coordinator's own /healthz.
+type ReplicaHealth struct {
+	URL     string           `json:"url"`
+	OK      bool             `json:"ok"`
+	Replica string           `json:"replica,omitempty"`
+	Cache   server.CacheWire `json:"cache,omitzero"`
+	Error   string           `json:"error,omitempty"`
+}
+
+// Health probes the replica's /healthz.
+func (r *Replica) Health(ctx context.Context) ReplicaHealth {
+	h := ReplicaHealth{URL: r.URL}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.URL+"/healthz", nil)
+	if err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.Error = fmt.Sprintf("healthz returned %d", resp.StatusCode)
+		return h
+	}
+	var body server.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		h.Error = fmt.Sprintf("decoding healthz: %v", err)
+		return h
+	}
+	h.OK = true
+	h.Replica = body.Replica
+	h.Cache = body.Cache
+	return h
+}
+
+// errStreamTruncated reports an NDJSON sweep stream that ended without
+// its done=true summary line — the replica died mid-sweep.
+var errStreamTruncated = fmt.Errorf("sweep stream ended without a summary line")
+
+// SweepShard drives one sub-sweep on the replica, invoking onCell for
+// every cell line in arrival order and returning the replica's summary
+// line. idle bounds the silence between lines: a replica that stalls
+// longer is abandoned (its request context is canceled) and the call
+// errors, leaving the undelivered cells to the coordinator's retry
+// path. onCell runs on the calling goroutine's stream reader; cells
+// delivered before a mid-stream failure have already been consumed and
+// must not be retried.
+func (r *Replica) SweepShard(ctx context.Context, req server.SweepRequest, idle time.Duration, onCell func(server.SweepCell)) (*server.SweepSummary, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding sub-sweep: %w", err)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.URL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+
+	var watchdog *time.Timer
+	if idle > 0 {
+		watchdog = time.AfterFunc(idle, cancel)
+		defer watchdog.Stop()
+	}
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("sweep returned %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if watchdog != nil {
+			watchdog.Reset(idle)
+		}
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("bad NDJSON line %.120q: %w", line, err)
+		}
+		if probe.Done {
+			var sum server.SweepSummary
+			if err := json.Unmarshal(line, &sum); err != nil {
+				return nil, fmt.Errorf("bad summary line: %w", err)
+			}
+			return &sum, nil
+		}
+		var cell server.SweepCell
+		if err := json.Unmarshal(line, &cell); err != nil {
+			return nil, fmt.Errorf("bad cell line: %w", err)
+		}
+		onCell(cell)
+	}
+	if err := sc.Err(); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("stream idle for %v: %w", idle, ctxErr)
+		}
+		return nil, err
+	}
+	return nil, errStreamTruncated
+}

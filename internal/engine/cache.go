@@ -7,17 +7,20 @@ import (
 	"drhwsched/internal/core"
 )
 
-// CacheStats is a snapshot of the analysis cache's counters.
+// CacheStats is a snapshot of an analysis Store's counters.
 type CacheStats struct {
-	// Hits counts lookups satisfied by a stored (or in-flight) analysis;
-	// Misses counts lookups that had to run the design-time phase, plus
-	// waiters whose in-flight computation failed (nothing was served).
+	// Hits counts lookups satisfied by a stored analysis (including
+	// engine waiters served by another goroutine's in-flight
+	// computation, which land as a Get of the freshly stored entry);
+	// Misses counts lookups that found nothing — the design-time phase
+	// had to run, or an in-flight computation failed and nothing was
+	// served.
 	Hits, Misses int64
-	// Evictions counts analyses dropped by the LRU bound.
+	// Evictions counts analyses dropped by the store's capacity bound.
 	Evictions int64
-	// Entries is the current number of cache entries, including
-	// in-flight computations that have not finished yet (and may still
-	// fail and be removed without counting as an eviction).
+	// Entries is the current number of stored analyses. In-flight
+	// computations live in the engine's flight table, not the store,
+	// so they are not counted here.
 	Entries int
 }
 
@@ -30,94 +33,65 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// cacheEntry is one memoized analysis. The ready channel is closed once
-// the computation finishes, so concurrent requests for the same key
-// wait for the first instead of duplicating the design-time phase
-// (single-flight).
-type cacheEntry struct {
-	key   string
-	a     *core.Analysis
-	err   error
-	done  bool
-	ready chan struct{}
+// lruEntry is one stored analysis.
+type lruEntry struct {
+	key string
+	a   *core.Analysis
 }
 
-// analysisCache is a bounded, concurrency-safe LRU memo of design-time
-// analyses keyed by Fingerprint.
-type analysisCache struct {
+// lruStore is the default Store: a bounded, concurrency-safe LRU of
+// design-time analyses keyed by Fingerprint. Single-flight is NOT this
+// type's job — the engine's flight table provides it for any Store.
+type lruStore struct {
 	mu        sync.Mutex
 	cap       int
-	order     *list.List               // of *cacheEntry; front = most recently used
+	order     *list.List               // of *lruEntry; front = most recently used
 	byKey     map[string]*list.Element //
 	hits      int64
 	misses    int64
 	evictions int64
 }
 
-func newAnalysisCache(cap int) *analysisCache {
-	return &analysisCache{cap: cap, order: list.New(), byKey: map[string]*list.Element{}}
+// NewLRUStore builds the in-process LRU analysis store bounding the
+// entry count at cap (zero or negative means 256). This is what an
+// engine uses when Config.Store is nil.
+func NewLRUStore(cap int) Store {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &lruStore{cap: cap, order: list.New(), byKey: map[string]*list.Element{}}
 }
 
-// get returns the analysis for key, computing it with compute on a
-// miss. The second return value reports whether the lookup was a hit
-// (including waiting on another goroutine's in-flight computation).
-// Failed computations are not cached; every waiter receives the error
-// and counts as a miss — no analysis was served.
-func (c *analysisCache) get(key string, compute func() (*core.Analysis, error)) (*core.Analysis, bool, error) {
+func (c *lruStore) Get(key string) (*core.Analysis, bool) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		e := el.Value.(*cacheEntry)
 		c.order.MoveToFront(el)
-		c.mu.Unlock()
-		<-e.ready
-		c.mu.Lock()
-		if e.err != nil {
-			c.misses++
-		} else {
-			c.hits++
-		}
-		c.mu.Unlock()
-		return e.a, e.err == nil, e.err
+		c.hits++
+		return el.Value.(*lruEntry).a, true
 	}
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
-	el := c.order.PushFront(e)
-	c.byKey[key] = el
 	c.misses++
-	c.mu.Unlock()
+	return nil, false
+}
 
-	e.a, e.err = compute()
-
+func (c *lruStore) Put(key string, a *core.Analysis) {
 	c.mu.Lock()
-	e.done = true
-	if e.err != nil {
-		// Do not memoize failures: remove the entry so a later call can
-		// retry (waiters already holding e still see the error).
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).a = a
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, a: a})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
 		c.order.Remove(el)
-		delete(c.byKey, key)
-	} else {
-		c.evictLocked()
-	}
-	c.mu.Unlock()
-	close(e.ready)
-	return e.a, false, e.err
-}
-
-// evictLocked enforces the LRU bound, skipping entries whose
-// computation is still in flight (the bound may be exceeded transiently
-// while many distinct analyses run concurrently).
-func (c *analysisCache) evictLocked() {
-	for el := c.order.Back(); el != nil && c.order.Len() > c.cap; {
-		prev := el.Prev()
-		if e := el.Value.(*cacheEntry); e.done {
-			c.order.Remove(el)
-			delete(c.byKey, e.key)
-			c.evictions++
-		}
-		el = prev
+		delete(c.byKey, el.Value.(*lruEntry).key)
+		c.evictions++
 	}
 }
 
-func (c *analysisCache) stats() CacheStats {
+func (c *lruStore) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{

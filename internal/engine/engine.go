@@ -38,18 +38,24 @@ type Config struct {
 	// Workers is the number of concurrent simulations a Sweep or Batch
 	// may run; zero or negative means GOMAXPROCS.
 	Workers int
-	// CacheSize bounds the analysis LRU cache (entries); zero or
-	// negative means 256.
+	// CacheSize bounds the default analysis LRU store (entries); zero
+	// or negative means 256. Ignored when Store is set.
 	CacheSize int
+	// Store is the analysis-artifact backend; nil means the in-process
+	// LRU of NewLRUStore(CacheSize). The engine layers single-flight on
+	// top, so implementations need only plain Get/Put/Stats.
+	Store Store
 }
 
 // Engine memoizes design-time analyses and schedules batches of
 // simulation runs over a worker pool. An Engine is safe for concurrent
 // use; create one per process (or per isolated experiment campaign) so
-// every run shares the same analysis cache.
+// every run shares the same analysis store.
 type Engine struct {
-	workers int
-	cache   *analysisCache
+	workers  int
+	store    Store
+	flightMu sync.Mutex
+	flights  map[string]*flight
 }
 
 // New creates an engine from cfg (the zero Config is fully usable).
@@ -58,23 +64,23 @@ func New(cfg Config) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	size := cfg.CacheSize
-	if size <= 0 {
-		size = 256
+	st := cfg.Store
+	if st == nil {
+		st = NewLRUStore(cfg.CacheSize)
 	}
-	return &Engine{workers: w, cache: newAnalysisCache(size)}
+	return &Engine{workers: w, store: st, flights: map[string]*flight{}}
 }
 
 // Workers reports the engine's worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// CacheStats snapshots the analysis cache counters.
-func (e *Engine) CacheStats() CacheStats { return e.cache.stats() }
+// CacheStats snapshots the analysis store's counters.
+func (e *Engine) CacheStats() CacheStats { return e.store.Stats() }
 
-// Analyze is the memoized core.Analyze: a cache hit skips the
+// Analyze is the memoized core.Analyze: a store hit skips the
 // design-time phase entirely and returns the stored artifact.
 func (e *Engine) Analyze(s *assign.Schedule, p platform.Platform, opt core.Options) (*core.Analysis, error) {
-	a, _, err := e.cache.get(Fingerprint(s, p, opt), func() (*core.Analysis, error) {
+	a, _, err := e.lookup(Fingerprint(s, p, opt), func() (*core.Analysis, error) {
 		return core.Analyze(s, p, opt)
 	})
 	return a, err
@@ -96,7 +102,7 @@ func (e *Engine) Simulate(mix []sim.TaskMix, p platform.Platform, opt sim.Option
 	// plain counters suffice.
 	var hits, misses int
 	opt.Analyzer = func(s *assign.Schedule, p platform.Platform, o core.Options) (*core.Analysis, error) {
-		a, hit, err := e.cache.get(Fingerprint(s, p, o), func() (*core.Analysis, error) {
+		a, hit, err := e.lookup(Fingerprint(s, p, o), func() (*core.Analysis, error) {
 			return core.Analyze(s, p, o)
 		})
 		if hit {

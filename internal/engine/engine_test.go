@@ -191,24 +191,25 @@ func TestFingerprint(t *testing.T) {
 	}
 }
 
-// TestCacheEviction exercises the LRU bound.
+// TestCacheEviction exercises the default store's LRU bound through
+// the engine's lookup path.
 func TestCacheEviction(t *testing.T) {
-	c := newAnalysisCache(2)
+	e := New(Config{CacheSize: 2})
 	mk := func() (*core.Analysis, error) { return &core.Analysis{}, nil }
 	for _, k := range []string{"a", "b", "c"} {
-		if _, hit, err := c.get(k, mk); hit || err != nil {
+		if _, hit, err := e.lookup(k, mk); hit || err != nil {
 			t.Fatalf("insert %q: hit=%v err=%v", k, hit, err)
 		}
 	}
-	st := c.stats()
+	st := e.CacheStats()
 	if st.Entries != 2 || st.Evictions != 1 {
 		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", st)
 	}
 	// "a" was least recently used and must be gone; "c" must hit.
-	if _, hit, _ := c.get("c", mk); !hit {
+	if _, hit, _ := e.lookup("c", mk); !hit {
 		t.Fatal("most recent entry evicted")
 	}
-	if _, hit, _ := c.get("a", mk); hit {
+	if _, hit, _ := e.lookup("a", mk); hit {
 		t.Fatal("evicted entry still present")
 	}
 }
@@ -216,21 +217,21 @@ func TestCacheEviction(t *testing.T) {
 // TestCacheErrorNotMemoized checks that failed computations are retried
 // and every concurrent waiter of a single flight sees the same outcome.
 func TestCacheErrorNotMemoized(t *testing.T) {
-	c := newAnalysisCache(4)
+	e := New(Config{CacheSize: 4})
 	boom := errors.New("boom")
-	if _, _, err := c.get("k", func() (*core.Analysis, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := e.lookup("k", func() (*core.Analysis, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
-	a, hit, err := c.get("k", func() (*core.Analysis, error) { return &core.Analysis{}, nil })
+	a, hit, err := e.lookup("k", func() (*core.Analysis, error) { return &core.Analysis{}, nil })
 	if hit || err != nil || a == nil {
 		t.Fatalf("retry after error: hit=%v err=%v", hit, err)
 	}
 }
 
 // TestCacheSingleFlight checks that concurrent lookups of one key run
-// the computation exactly once.
+// the computation exactly once, whatever Store backs the engine.
 func TestCacheSingleFlight(t *testing.T) {
-	c := newAnalysisCache(4)
+	e := New(Config{CacheSize: 4})
 	var calls int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -238,7 +239,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, err := c.get("k", func() (*core.Analysis, error) {
+			_, _, err := e.lookup("k", func() (*core.Analysis, error) {
 				mu.Lock()
 				calls++
 				mu.Unlock()
@@ -253,9 +254,74 @@ func TestCacheSingleFlight(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("compute ran %d times, want 1", calls)
 	}
-	st := c.stats()
+	st := e.CacheStats()
 	if st.Misses != 1 || st.Hits != 15 {
 		t.Fatalf("stats = %+v, want 1 miss / 15 hits", st)
+	}
+}
+
+// countingStore wraps a Store and records Get/Put traffic, standing in
+// for a remote backend behind the Config.Store seam.
+type countingStore struct {
+	Store
+	mu   sync.Mutex
+	gets int
+	puts int
+}
+
+func (s *countingStore) Get(key string) (*core.Analysis, bool) {
+	s.mu.Lock()
+	s.gets++
+	s.mu.Unlock()
+	return s.Store.Get(key)
+}
+
+func (s *countingStore) Put(key string, a *core.Analysis) {
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	s.Store.Put(key, a)
+}
+
+// TestCustomStoreSeam checks that a caller-supplied Store receives all
+// analysis traffic and that single-flight still holds above it: N
+// concurrent lookups of one key reach the backend with exactly one Put.
+func TestCustomStoreSeam(t *testing.T) {
+	cs := &countingStore{Store: NewLRUStore(8)}
+	e := New(Config{Store: cs})
+	var calls int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := e.lookup("shared", func() (*core.Analysis, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return &core.Analysis{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1 (single-flight above the store)", calls)
+	}
+	cs.mu.Lock()
+	gets, puts := cs.gets, cs.puts
+	cs.mu.Unlock()
+	if puts != 1 {
+		t.Fatalf("backend saw %d puts, want 1", puts)
+	}
+	if gets != 8 {
+		t.Fatalf("backend saw %d gets, want 8 (one per lookup)", gets)
+	}
+	if st := e.CacheStats(); st.Hits != 7 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 7 hits / 1 miss", st)
 	}
 }
 

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"drhwsched/internal/core"
+)
+
+// Store is the analysis-artifact storage seam: where memoized
+// design-time analyses live. The engine performs its own single-flight
+// coordination on top of a Store, so implementations only need plain
+// lookup/insert semantics — a Store never sees two concurrent computes
+// of the same key from one engine. The default implementation is the
+// in-process LRU of NewLRUStore; a remote or shared backend (a sidecar
+// cache, a cluster-wide store) slots in via Config.Store without
+// touching any engine caller.
+//
+// Implementations must be safe for concurrent use and must count their
+// own traffic: every Get is either a hit or a miss in Stats.
+type Store interface {
+	// Get returns the analysis stored under key, reporting whether one
+	// was present.
+	Get(key string) (*core.Analysis, bool)
+	// Put stores a successfully computed analysis under key. Failed
+	// computations are never Put, so retries stay possible.
+	Put(key string, a *core.Analysis)
+	// Stats snapshots the store's counters.
+	Stats() CacheStats
+}
+
+// flight is one in-progress analysis computation. The ready channel is
+// closed once the computation finishes, so concurrent requests for the
+// same key wait for the first instead of duplicating the design-time
+// phase (single-flight). The flight layer lives in the engine, above
+// the Store, so single-flight holds for any backend.
+type flight struct {
+	ready chan struct{}
+	a     *core.Analysis
+	err   error
+}
+
+// lookup returns the analysis for key, computing it with compute on a
+// store miss. The second return value reports whether the lookup was a
+// hit (including waiting on another goroutine's in-flight computation).
+// Failed computations are not stored; every waiter receives the error
+// and counts as a miss — no analysis was served.
+func (e *Engine) lookup(key string, compute func() (*core.Analysis, error)) (*core.Analysis, bool, error) {
+	for {
+		e.flightMu.Lock()
+		if f, ok := e.flights[key]; ok {
+			e.flightMu.Unlock()
+			<-f.ready
+			// Count the waiter's outcome through the store so hit/miss
+			// accounting lives in one place: a successful flight just
+			// Put the entry (hit); a failed one left nothing (miss).
+			if a, ok := e.store.Get(key); ok {
+				return a, true, nil
+			}
+			if f.err != nil {
+				return nil, false, f.err
+			}
+			// The entry was evicted between the leader's Put and our
+			// Get; start over as a fresh lookup.
+			continue
+		}
+		f := &flight{ready: make(chan struct{})}
+		e.flights[key] = f
+		e.flightMu.Unlock()
+
+		if a, ok := e.store.Get(key); ok {
+			f.a = a
+			e.land(key, f)
+			return a, true, nil
+		}
+		f.a, f.err = compute()
+		if f.err == nil {
+			e.store.Put(key, f.a)
+		}
+		e.land(key, f)
+		return f.a, false, f.err
+	}
+}
+
+// land retires a flight: waiters are released after the result (or its
+// absence) is visible in the store.
+func (e *Engine) land(key string, f *flight) {
+	e.flightMu.Lock()
+	delete(e.flights, key)
+	e.flightMu.Unlock()
+	close(f.ready)
+}
+
+var _ Store = (*lruStore)(nil)

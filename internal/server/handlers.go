@@ -368,8 +368,11 @@ type SweepRequest struct {
 
 // SweepCell is one NDJSON line of the /v1/sweep stream, emitted the
 // moment the cell's simulation completes (completion order, not grid
-// order — X and Line identify the cell).
+// order — Index is the cell's position in the expanded grid, values ×
+// approaches, so clients and the cluster coordinator can restore grid
+// order and detect duplicates).
 type SweepCell struct {
+	Index       int     `json:"index"`
 	X           int     `json:"x"`
 	Line        string  `json:"line"`
 	OverheadPct float64 `json:"overhead_pct"`
@@ -478,7 +481,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 	ctx := r.Context()
 	delivered, failed := 0, 0
 	for rr := range s.eng.Stream(ctx, runs) {
-		cell := SweepCell{X: rr.Run.X, Line: rr.Run.Line}
+		cell := SweepCell{Index: rr.Index, X: rr.Run.X, Line: rr.Run.Line}
 		if rr.Err != nil {
 			failed++
 			cell.Error = rr.Err.Error()

@@ -39,6 +39,7 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -76,6 +77,11 @@ type Config struct {
 	// shutdown before canceling their contexts. Zero or negative means
 	// 10 s.
 	DrainTimeout time.Duration
+	// ReplicaID names this process in a replica pool; it is surfaced on
+	// /healthz (with the cache counters) so a coordinator and operators
+	// can verify which replica they reached and whether shard-cache
+	// affinity is holding. Empty means a random "drhwd-xxxxxxxx".
+	ReplicaID string
 	// Logf receives lifecycle log lines (nil: silent).
 	Logf func(format string, args ...any)
 }
@@ -98,6 +104,11 @@ func (c *Config) fillDefaults() {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
+	}
+	if c.ReplicaID == "" {
+		var b [4]byte
+		rand.Read(b[:])
+		c.ReplicaID = fmt.Sprintf("drhwd-%x", b)
 	}
 }
 
@@ -137,6 +148,9 @@ func New(cfg Config) *Server {
 // Engine exposes the server's shared engine (tests assert on its
 // CacheStats; embedders may pre-warm it).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// ReplicaID reports the identity the server advertises on /healthz.
+func (s *Server) ReplicaID() string { return s.cfg.ReplicaID }
 
 // ServeHTTP dispatches to the server's routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -319,8 +333,24 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
+// HealthResponse is the /healthz body: liveness plus the replica's
+// identity and cache counters, so a coordinator (or an operator with
+// curl) can verify which replica it reached and whether the shard's
+// analyses are actually warming this replica's cache.
+type HealthResponse struct {
+	Status  string    `json:"status"`
+	Replica string    `json:"replica"`
+	Workers int       `json:"workers"`
+	Cache   CacheWire `json:"cache"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
-	return writeJSON(w, map[string]string{"status": "ok"})
+	return writeJSON(w, HealthResponse{
+		Status:  "ok",
+		Replica: s.cfg.ReplicaID,
+		Workers: s.eng.Workers(),
+		Cache:   cacheWire(s.eng.CacheStats()),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {

@@ -77,7 +77,11 @@ func post(t *testing.T, url, body string) (*http.Response, string) {
 }
 
 func TestHealthz(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	s, ts := newTestServer(t, Config{ReplicaID: "r-test"})
+	// Warm the cache so the healthz counters have something to show.
+	if resp, body := post(t, ts.URL+"/v1/analyze", smallDoc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d: %s", resp.StatusCode, body)
+	}
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +89,28 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Replica != "r-test" {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if st := s.Engine().CacheStats(); h.Cache.Misses != st.Misses {
+		t.Fatalf("healthz cache misses = %d, engine reports %d", h.Cache.Misses, st.Misses)
+	}
+	if h.Cache.Misses == 0 {
+		t.Fatal("healthz shows no cache traffic after an analyze")
+	}
+}
+
+// TestReplicaIDDefault: an unset ReplicaID gets a generated identity,
+// distinct across servers.
+func TestReplicaIDDefault(t *testing.T) {
+	a, b := New(Config{}), New(Config{})
+	if a.ReplicaID() == "" || a.ReplicaID() == b.ReplicaID() {
+		t.Fatalf("replica ids %q / %q: want distinct non-empty", a.ReplicaID(), b.ReplicaID())
 	}
 }
 
@@ -517,6 +543,20 @@ func TestSweepStreamsNDJSON(t *testing.T) {
 	for _, want := range []string{"3/hybrid", "3/run-time", "4/hybrid", "4/run-time"} {
 		if !seen[want] {
 			t.Fatalf("missing cell %s in %v", want, seen)
+		}
+	}
+	// Indices are the cells' grid positions (values × approaches, values
+	// outer): a permutation of 0..3 consistent with (x, line).
+	byIndex := map[int]string{}
+	for _, c := range cells {
+		if _, dup := byIndex[c.Index]; dup {
+			t.Fatalf("duplicate cell index %d", c.Index)
+		}
+		byIndex[c.Index] = fmt.Sprintf("%d/%s", c.X, c.Line)
+	}
+	for i, want := range []string{"3/hybrid", "3/run-time", "4/hybrid", "4/run-time"} {
+		if byIndex[i] != want {
+			t.Fatalf("index %d = %q, want %q", i, byIndex[i], want)
 		}
 	}
 }

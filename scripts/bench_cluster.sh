@@ -1,0 +1,143 @@
+#!/bin/sh
+# bench_cluster.sh — measure coordinator sweep throughput at 1 vs 2
+# replicas and emit BENCH_cluster.json.
+#
+# Each configuration boots fresh replicas (cold engines) and a fresh
+# drhwcoord, then times one wide sweep through the coordinator: every
+# tile count from 2 upward across all five approach lines, with enough
+# simulation iterations that the replicas do real work. Throughput is
+# cells per second of wall-clock stream time.
+#
+# Per-replica capacity is pinned (-workers, default 1) so the replica
+# count is the only variable: on a multi-core host the 2-replica row
+# should approach twice the 1-replica throughput. On a single-core
+# host both rows tie — the replicas time-slice one CPU — so read the
+# ratio together with the host_cpus field the record carries.
+#
+#   CLUSTER_OUT=path      output file (default BENCH_cluster.json)
+#   BENCH_VALUES=N        swept tile counts 2..N+1 (default 8 values)
+#   BENCH_ITERATIONS=N    sim iterations per cell (default 20000)
+#   BENCH_WORKERS=N       engine workers per replica (default 1)
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${CLUSTER_OUT:-BENCH_cluster.json}"
+NVALUES="${BENCH_VALUES:-8}"
+ITER="${BENCH_ITERATIONS:-20000}"
+WORKERS="${BENCH_WORKERS:-1}"
+CPUS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+PIDS=""
+TMP="$(mktemp -d)"
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
+
+echo "bench_cluster: building drhwd and drhwcoord"
+go build -o "$TMP/drhwd" ./cmd/drhwd
+go build -o "$TMP/drhwcoord" ./cmd/drhwcoord
+
+VALUES="2"
+i=3
+while [ "$i" -lt "$((NVALUES + 2))" ]; do
+    VALUES="$VALUES, $i"
+    i=$((i + 1))
+done
+
+cat > "$TMP/sweep.json" <<EOF
+{
+  "workload": {
+    "name": "bench",
+    "platform": {"tiles": 4},
+    "sim": {"approach": "hybrid", "iterations": $ITER, "seed": 1},
+    "tasks": [{
+      "name": "pipe",
+      "scenarios": [{
+        "subtasks": [
+          {"name": "a", "exec_ms": 10},
+          {"name": "b", "exec_ms": 12},
+          {"name": "c", "exec_ms": 8},
+          {"name": "d", "exec_ms": 14},
+          {"name": "e", "exec_ms": 9},
+          {"name": "f", "exec_ms": 11}
+        ],
+        "edges": [
+          {"from": 0, "to": 1}, {"from": 1, "to": 2}, {"from": 2, "to": 3},
+          {"from": 3, "to": 4}, {"from": 4, "to": 5}
+        ]
+      }]
+    }]
+  },
+  "param": "tiles",
+  "values": [$VALUES],
+  "approaches": ["no-prefetch", "design-time", "run-time", "run-time+inter-task", "hybrid"]
+}
+EOF
+CELLS=$((NVALUES * 5))
+
+# wait_addr LOGFILE PID: echo the HOST:PORT the daemon logged.
+wait_addr() {
+    _addr=""
+    for _ in $(seq 1 50); do
+        _addr="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$1" | head -n 1)"
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "bench_cluster: daemon died:" >&2; cat "$1" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$_addr" ] || { echo "bench_cluster: daemon never bound:" >&2; cat "$1" >&2; exit 1; }
+    echo "$_addr"
+}
+
+# run_config NAME NREPLICAS: boot the pool + coordinator cold, time the
+# sweep, append "NAME NREPLICAS SECONDS CELLS" to $TMP/rows.
+run_config() {
+    name="$1"
+    n="$2"
+    urls=""
+    pids=""
+    r=0
+    while [ "$r" -lt "$n" ]; do
+        "$TMP/drhwd" -addr 127.0.0.1:0 -workers "$WORKERS" 2>"$TMP/$name-r$r.log" &
+        pid=$!
+        PIDS="$PIDS $pid"
+        pids="$pids $pid"
+        addr="$(wait_addr "$TMP/$name-r$r.log" "$pid")"
+        urls="$urls${urls:+,}http://$addr"
+        r=$((r + 1))
+    done
+    "$TMP/drhwcoord" -addr 127.0.0.1:0 -replica "$urls" 2>"$TMP/$name-coord.log" &
+    cpid=$!
+    PIDS="$PIDS $cpid"
+    pids="$pids $cpid"
+    coord="$(wait_addr "$TMP/$name-coord.log" "$cpid")"
+
+    t0="$(date +%s.%N 2>/dev/null || date +%s)"
+    curl -fsS -X POST --data-binary @"$TMP/sweep.json" \
+        "http://$coord/v1/sweep" > "$TMP/$name.ndjson"
+    t1="$(date +%s.%N 2>/dev/null || date +%s)"
+
+    grep -q '"done":true' "$TMP/$name.ndjson" \
+        || { echo "bench_cluster: $name sweep cut short"; cat "$TMP/$name-coord.log"; exit 1; }
+    got="$(grep -cv '"done":true' "$TMP/$name.ndjson")"
+    [ "$got" -eq "$CELLS" ] \
+        || { echo "bench_cluster: $name returned $got cells, want $CELLS"; exit 1; }
+
+    secs="$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')"
+    echo "bench_cluster: $name — $CELLS cells in ${secs}s"
+    echo "$name $n $secs $CELLS" >> "$TMP/rows"
+
+    for p in $pids; do kill "$p" 2>/dev/null || true; wait "$p" 2>/dev/null || true; done
+}
+
+: > "$TMP/rows"
+run_config replicas1 1
+run_config replicas2 2
+
+awk -v iter="$ITER" -v workers="$WORKERS" -v cpus="$CPUS" '
+BEGIN { printf "[\n" }
+{
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"ClusterSweep/%s\", \"replicas\": %s, \"workers_per_replica\": %s, \"host_cpus\": %s, \"cells\": %s, \"iterations_per_cell\": %s, \"seconds\": %s, \"cells_per_sec\": %.2f}",
+        $1, $2, workers, cpus, $4, iter, $3, $4 / $3
+}
+END { printf "\n]\n" }
+' "$TMP/rows" > "$OUT"
+echo "wrote $OUT"
+cat "$OUT"

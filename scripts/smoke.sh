@@ -1,31 +1,51 @@
 #!/bin/sh
-# smoke.sh boots drhwd on an ephemeral port, drives it with drhwload
-# for a few seconds, and asserts a 100% 2xx rate and non-zero engine
-# cache hits. CI runs this; `make loadtest` runs it locally.
+# smoke.sh — end-to-end smoke test, two legs:
+#
+#   1. single node: boot drhwd on an ephemeral port, drive it with
+#      drhwload for a few seconds, assert a 100% 2xx rate and non-zero
+#      engine cache hits.
+#   2. cluster: boot two fresh drhwd replicas and a drhwcoord over
+#      them, POST the same sweep to the coordinator and to a fresh
+#      single-node drhwd, and assert the merged cell set is identical
+#      (sorted by cell index, byte-for-byte). The sweep uses one
+#      approach line so every cell has a unique analysis fingerprint —
+#      on cold engines that makes the per-cell cache counters, and so
+#      the whole payload, deterministic. drhwload is also pointed at
+#      both replicas via repeated -target flags.
+#
+# CI runs this; `make loadtest` runs it locally.
 set -eu
 
 DURATION="${SMOKE_DURATION:-4s}"
 RPS="${SMOKE_RPS:-25}"
-SERVER_PID=""
+PIDS=""
 TMP="$(mktemp -d)"
-trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
 
-echo "smoke: building drhwd and drhwload"
+echo "smoke: building drhwd, drhwcoord and drhwload"
 go build -o "$TMP/drhwd" ./cmd/drhwd
+go build -o "$TMP/drhwcoord" ./cmd/drhwcoord
 go build -o "$TMP/drhwload" ./cmd/drhwload
+
+# wait_addr LOGFILE PID: echo the HOST:PORT the daemon logged.
+wait_addr() {
+    _addr=""
+    for _ in $(seq 1 50); do
+        _addr="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$1" | head -n 1)"
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "smoke: daemon died:" >&2; cat "$1" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$_addr" ] || { echo "smoke: daemon never bound:" >&2; cat "$1" >&2; exit 1; }
+    echo "$_addr"
+}
+
+# ---- leg 1: single-node load test ----------------------------------
 
 "$TMP/drhwd" -addr 127.0.0.1:0 2>"$TMP/drhwd.log" &
 SERVER_PID=$!
-
-# The daemon logs "listening on HOST:PORT" once the listener is bound.
-ADDR=""
-for _ in $(seq 1 50); do
-    ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$TMP/drhwd.log" | head -n 1)"
-    [ -n "$ADDR" ] && break
-    kill -0 "$SERVER_PID" 2>/dev/null || { echo "smoke: drhwd died:"; cat "$TMP/drhwd.log"; exit 1; }
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "smoke: drhwd never bound:"; cat "$TMP/drhwd.log"; exit 1; }
+PIDS="$PIDS $SERVER_PID"
+ADDR="$(wait_addr "$TMP/drhwd.log" "$SERVER_PID")"
 echo "smoke: drhwd up on $ADDR"
 
 "$TMP/drhwload" -url "http://$ADDR" -duration "$DURATION" -rps "$RPS" \
@@ -35,4 +55,87 @@ echo "smoke: drhwd up on $ADDR"
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "smoke: drhwd exited non-zero on SIGTERM"; cat "$TMP/drhwd.log"; exit 1; }
 echo "smoke: clean drain"
+
+# ---- leg 2: coordinator over two replicas --------------------------
+
+cat > "$TMP/sweep.json" <<'EOF'
+{
+  "workload": {
+    "name": "pipe",
+    "platform": {"tiles": 4},
+    "sim": {"approach": "hybrid", "iterations": 20, "seed": 1},
+    "tasks": [{
+      "name": "pipe",
+      "scenarios": [{
+        "subtasks": [
+          {"name": "a", "exec_ms": 10},
+          {"name": "b", "exec_ms": 12},
+          {"name": "c", "exec_ms": 8}
+        ],
+        "edges": [{"from": 0, "to": 1}, {"from": 1, "to": 2}]
+      }]
+    }]
+  },
+  "param": "tiles",
+  "values": [2, 3, 4, 5, 6],
+  "approaches": ["hybrid"]
+}
+EOF
+
+# Fresh single node (cold engine) as the reference.
+"$TMP/drhwd" -addr 127.0.0.1:0 2>"$TMP/single.log" &
+SINGLE_PID=$!
+PIDS="$PIDS $SINGLE_PID"
+SINGLE="$(wait_addr "$TMP/single.log" "$SINGLE_PID")"
+
+# Two fresh replicas plus the coordinator.
+"$TMP/drhwd" -addr 127.0.0.1:0 2>"$TMP/r1.log" &
+R1_PID=$!
+PIDS="$PIDS $R1_PID"
+R1="$(wait_addr "$TMP/r1.log" "$R1_PID")"
+
+"$TMP/drhwd" -addr 127.0.0.1:0 2>"$TMP/r2.log" &
+R2_PID=$!
+PIDS="$PIDS $R2_PID"
+R2="$(wait_addr "$TMP/r2.log" "$R2_PID")"
+
+"$TMP/drhwcoord" -addr 127.0.0.1:0 -replica "http://$R1,http://$R2" \
+    2>"$TMP/coord.log" &
+COORD_PID=$!
+PIDS="$PIDS $COORD_PID"
+COORD="$(wait_addr "$TMP/coord.log" "$COORD_PID")"
+echo "smoke: cluster up — coordinator $COORD over replicas $R1 $R2 (reference $SINGLE)"
+
+curl -fsS -X POST --data-binary @"$TMP/sweep.json" "http://$SINGLE/v1/sweep" \
+    > "$TMP/single.ndjson"
+curl -fsS -X POST --data-binary @"$TMP/sweep.json" "http://$COORD/v1/sweep" \
+    > "$TMP/coord.ndjson"
+
+# Both streams must terminate with a done=true summary.
+grep -q '"done":true' "$TMP/single.ndjson" || { echo "smoke: single-node sweep cut short"; exit 1; }
+grep -q '"done":true' "$TMP/coord.ndjson" || { echo "smoke: coordinator sweep cut short"; cat "$TMP/coord.log"; exit 1; }
+
+# Cell lines (everything but the summary), sorted by index. The index
+# is the first field of every cell line, so a plain sort orders both
+# streams identically — and byte-identical cells then diff clean.
+grep -v '"done":true' "$TMP/single.ndjson" | sort > "$TMP/single.cells"
+grep -v '"done":true' "$TMP/coord.ndjson" | sort > "$TMP/coord.cells"
+[ "$(wc -l < "$TMP/single.cells")" -eq 5 ] || { echo "smoke: single node returned $(wc -l < "$TMP/single.cells") cells, want 5"; exit 1; }
+if ! diff -u "$TMP/single.cells" "$TMP/coord.cells"; then
+    echo "smoke: coordinator cell set differs from single node"
+    exit 1
+fi
+echo "smoke: coordinator cell set identical to single node (5 cells)"
+
+# The load generator round-robins across both replicas directly.
+"$TMP/drhwload" -target "http://$R1" -target "http://$R2" \
+    -duration "$DURATION" -rps "$RPS" -require-2xx 1.0 -require-cache-hits
+
+# Coordinator healthz must see both replicas alive.
+curl -fsS "http://$COORD/healthz" | grep -q '"status": "ok"' \
+    || { echo "smoke: coordinator healthz not ok"; exit 1; }
+
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" || { echo "smoke: drhwcoord exited non-zero on SIGTERM"; cat "$TMP/coord.log"; exit 1; }
+echo "smoke: coordinator clean drain"
 echo "smoke: OK"
