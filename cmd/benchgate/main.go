@@ -1,0 +1,62 @@
+// Command benchgate compares a freshly-measured benchmark artifact
+// against the committed baseline and exits non-zero on regression. CI
+// runs it right after scripts/bench.sh:
+//
+//	benchgate -current BENCH_sim.json -baseline BENCH_baseline.json
+//
+// allocs/op is gated tightly (deterministic per binary); ns/op only
+// between rows measured on hosts with the same CPU count, and
+// generously; and the BenchmarkSimRunParallel workers=1 vs workers=4
+// speedup is demanded only on hosts with at least -speedup-cpus CPUs.
+// See internal/benchgate for the exact rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drhwsched/internal/benchgate"
+)
+
+func main() {
+	lim := benchgate.DefaultLimits()
+	var (
+		current  = flag.String("current", "BENCH_sim.json", "freshly-measured artifact")
+		baseline = flag.String("baseline", "BENCH_baseline.json", "committed baseline artifact")
+	)
+	flag.Float64Var(&lim.AllocRatio, "alloc-ratio", lim.AllocRatio, "max current/baseline allocs/op ratio")
+	flag.Float64Var(&lim.AllocSlack, "alloc-slack", lim.AllocSlack, "absolute allocs/op headroom on top of the ratio")
+	flag.Float64Var(&lim.NsRatio, "ns-ratio", lim.NsRatio, "max current/baseline ns/op ratio (same-host rows only; 0 disables)")
+	flag.Float64Var(&lim.MinSpeedup, "min-speedup", lim.MinSpeedup, "required workers=1 / workers=4 speedup (0 disables)")
+	flag.IntVar(&lim.MinSpeedupCPUs, "speedup-cpus", lim.MinSpeedupCPUs, "minimum host CPUs before the speedup check applies")
+	flag.Parse()
+
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	if bad := benchgate.Check(cur, base, lim); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s:\n", len(bad), *baseline)
+		for _, v := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %s within budget of %s (%d baseline rows)\n", *current, *baseline, len(base))
+}
+
+func load(path string) ([]benchgate.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return benchgate.Parse(data)
+}

@@ -7,7 +7,7 @@
 //	        [-approach A] [-tiles N] [-isps N] [-iterations N] [-seed S]
 //	        [-policy P] [-schedcost] [-no-intertask] [-deadline MS]
 //	        [-arrivals A] [-trace file.json]
-//	        [-multitask M] [-partitions N]
+//	        [-multitask M] [-partitions N] [-parallelism P]
 //
 // The accepted names for -approach, -policy, -arrivals and -multitask
 // come from the internal/workload registries (the exact sets the JSON
@@ -30,6 +30,12 @@
 // (-partitions, default 2), or greedy free-tile claims. Concurrent
 // modes report the peak in-flight count and per-instance queueing-delay
 // and response-time percentiles.
+//
+// -parallelism shards the iteration stream across P worker goroutines
+// with counter-derived per-iteration RNG streams; aggregates are
+// bit-identical for every P >= 1 (-1 uses one worker per CPU). Sharding
+// requires serial multitask admission. 0 (the default) keeps the
+// sequential reference path.
 package main
 
 import (
@@ -64,6 +70,7 @@ func main() {
 		traceFile   = flag.String("trace", "", "JSON arrival log for -arrivals trace (array of iterations, each an array of task indices)")
 		multitask   = flag.String("multitask", "serial", "fabric admission mode: "+workload.Usage(workload.MultitaskModes()))
 		partitions  = flag.Int("partitions", 0, "fixed tile-partition count for -multitask partition (0: 2)")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for sharded execution (0: sequential, -1: one per CPU; serial multitask only)")
 	)
 	flag.Parse()
 
@@ -185,6 +192,7 @@ func main() {
 		SchedulerCost:    *schedCost,
 		DisableInterTask: *noInterTask,
 		Deadline:         model.MS(*deadlineMS),
+		Parallelism:      *parallelism,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
@@ -195,6 +203,9 @@ func main() {
 	fmt.Printf("platform            %s\n", p)
 	fmt.Printf("approach            %s\n", r.Approach)
 	fmt.Printf("iterations          %d (%d task instances, %d subtasks)\n", r.Iterations, r.Instances, r.Subtasks)
+	if r.Execution != "sequential" {
+		fmt.Printf("execution           %s\n", r.Execution)
+	}
 	fmt.Printf("ideal time          %v\n", r.IdealTotal)
 	fmt.Printf("actual time         %v\n", r.ActualTotal)
 	fmt.Printf("overhead            %.2f%%\n", r.OverheadPct)

@@ -303,6 +303,19 @@ const (
 	Hybrid             = sim.Hybrid
 )
 
+// AutoParallelism, assigned to SimOptions.Parallelism, shards the
+// iteration stream across one worker per CPU (serial multitask
+// admission only; other modes silently stay sequential). Any explicit
+// Parallelism >= 1 requests that exact worker count and is rejected
+// with ErrParallelMultitask under partition or greedy admission.
+// Sharded aggregates are bit-identical for every worker count.
+const AutoParallelism = sim.AutoParallelism
+
+// ErrParallelMultitask is returned (wrapped) when an explicit
+// SimOptions.Parallelism >= 1 is combined with a fabric admission mode
+// other than serial; test with errors.Is.
+var ErrParallelMultitask = sim.ErrParallelMultitask
+
 // Simulate runs a dynamic application mix on the modelled platform.
 func Simulate(mix []TaskMix, p Platform, opt SimOptions) (*SimResult, error) {
 	return sim.Run(mix, p, opt)

@@ -396,6 +396,50 @@ func TestMultitaskSharesAnalysisCache(t *testing.T) {
 	}
 }
 
+// TestShardedSharesAnalysisCache pins the fingerprint contract for
+// sharded execution: parallelism is a run-time-only knob, so a sharded
+// run served after a sequential run on the same engine hits the cache
+// for every analysis, and the sharded aggregates are identical for any
+// worker count.
+func TestShardedSharesAnalysisCache(t *testing.T) {
+	mix := testMix(t)
+	p := platform.Default(4)
+	eng := New(Config{})
+
+	seq, err := eng.Simulate(mix, p, sim.Options{Approach: sim.Hybrid, Iterations: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.CacheMisses == 0 {
+		t.Fatal("cold sequential run computed no analyses")
+	}
+	var prev *sim.Result
+	for _, workers := range []int{1, 4} {
+		r, err := eng.Simulate(mix, p, sim.Options{
+			Approach: sim.Hybrid, Iterations: 64, Seed: 3, Parallelism: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CacheMisses != 0 || r.CacheHits != seq.CacheMisses {
+			t.Fatalf("P=%d run after sequential: %d hits / %d misses, want %d/0 (parallelism must not change analysis keys)",
+				workers, r.CacheHits, r.CacheMisses, seq.CacheMisses)
+		}
+		if r.Execution != "sharded" {
+			t.Fatalf("P=%d: execution = %q, want sharded", workers, r.Execution)
+		}
+		if prev != nil {
+			a, b := *prev, *r
+			a.CacheHits, a.CacheMisses, a.CacheHitRate = 0, 0, 0
+			b.CacheHits, b.CacheMisses, b.CacheHitRate = 0, 0, 0
+			if a != b {
+				t.Fatalf("sharded aggregates depend on the worker count:\nP=1 %+v\nP=4 %+v", a, b)
+			}
+		}
+		prev = r
+	}
+}
+
 // TestSweepDuplicateCellDeterministic checks that a grid repeating one
 // (X, Line) cell resolves last-write-wins in input order, exactly as a
 // serial loop would — regardless of which worker finishes first.

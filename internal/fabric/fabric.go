@@ -62,6 +62,31 @@ func New(p platform.Platform, policy reconfig.Policy) *Fabric {
 	}
 }
 
+// Reset returns the fabric to the all-idle, nothing-resident state of
+// New, in place and without allocating. The parallel simulation kernel
+// calls it between independent Monte-Carlo replications so one fabric
+// per shard serves every iteration. Resetting with claims still in
+// flight is a bug and panics.
+func (f *Fabric) Reset() {
+	if f.inflight != 0 {
+		panic(fmt.Sprintf("fabric: reset with %d instances in flight", f.inflight))
+	}
+	f.state.Reset()
+	for i := range f.tileFree {
+		f.tileFree[i] = 0
+	}
+	for i := range f.portFree {
+		f.portFree[i] = 0
+	}
+	for i := range f.ispFree {
+		f.ispFree[i] = 0
+	}
+	for i := range f.busy {
+		f.busy[i] = false
+	}
+	f.freeN = f.p.Tiles
+}
+
 // Tiles, Ports and ISPs report the resource counts.
 func (f *Fabric) Tiles() int { return f.p.Tiles }
 

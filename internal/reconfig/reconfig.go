@@ -44,6 +44,17 @@ func NewState(tiles int) *State {
 	}
 }
 
+// Reset returns the state to all-empty in place, without allocating —
+// the cold start of a fresh fabric, reused across independent
+// simulation replications.
+func (st *State) Reset() {
+	for t := range st.Configs {
+		st.Configs[t] = ""
+		st.LastUse[t] = 0
+		st.LoadedAt[t] = 0
+	}
+}
+
 // Tiles reports the number of physical tiles tracked.
 func (st *State) Tiles() int { return len(st.Configs) }
 

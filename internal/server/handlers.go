@@ -189,9 +189,12 @@ type SimulateResponse struct {
 	// its partition count (partition mode only), the peak number of
 	// concurrently resident instances, and the per-instance
 	// queueing-delay / response-time tail percentiles (milliseconds).
-	MultitaskMode   string  `json:"multitask_mode"`
-	Partitions      int     `json:"partitions,omitempty"`
-	MaxInFlight     int     `json:"max_in_flight"`
+	MultitaskMode string `json:"multitask_mode"`
+	Partitions    int    `json:"partitions,omitempty"`
+	MaxInFlight   int    `json:"max_in_flight"`
+	// Execution names the kernel path the run took: "sequential" or
+	// "sharded" (see the workload "sim.parallelism" field).
+	Execution       string  `json:"execution"`
 	QueueDelayP50MS float64 `json:"queue_delay_p50_ms"`
 	QueueDelayP95MS float64 `json:"queue_delay_p95_ms"`
 	QueueDelayP99MS float64 `json:"queue_delay_p99_ms"`
@@ -238,6 +241,7 @@ func simulateResponse(name string, pstr string, res *sim.Result) SimulateRespons
 		MultitaskMode:   res.MultitaskMode,
 		Partitions:      res.Partitions,
 		MaxInFlight:     res.MaxInFlight,
+		Execution:       res.Execution,
 		QueueDelayP50MS: res.QueueDelay.P50,
 		QueueDelayP95MS: res.QueueDelay.P95,
 		QueueDelayP99MS: res.QueueDelay.P99,

@@ -335,6 +335,59 @@ func TestSimulateMultitaskStreamReportsInFlight(t *testing.T) {
 	}
 }
 
+// TestSimulateParallelism: a workload that opts into sharded execution
+// via "sim.parallelism" reports "execution": "sharded" on the wire, and
+// fabric-partitioned admission combined with an explicit worker count is
+// rejected as a 400 on both the plain and streaming paths — the typed
+// sim error must not surface as a 500.
+func TestSimulateParallelism(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	sharded := strings.Replace(simDoc, `"seed": 1`, `"seed": 1, "parallelism": 2`, 1)
+	resp, body := post(t, ts.URL+"/v1/simulate", sharded)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded run: status = %d: %s", resp.StatusCode, body)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Execution != "sharded" {
+		t.Fatalf("execution = %q, want sharded", sr.Execution)
+	}
+	if sr.Instances <= 0 || sr.MakespanP50MS <= 0 {
+		t.Fatalf("sharded run reported empty aggregates: %+v", sr)
+	}
+
+	// The default path still reports itself as sequential.
+	resp, body = post(t, ts.URL+"/v1/simulate", simDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default run: status = %d: %s", resp.StatusCode, body)
+	}
+	var plain SimulateResponse
+	if err := json.Unmarshal([]byte(body), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Execution != "sequential" {
+		t.Fatalf("default execution = %q, want sequential", plain.Execution)
+	}
+
+	// Partition admission cannot shard: its correctness reference is the
+	// warm sequential fabric, so an explicit worker count is a 400.
+	bad := strings.Replace(multitaskDoc,
+		`"multitask": {"mode": "partition", "partitions": 2}`,
+		`"multitask": {"mode": "partition", "partitions": 2}, "parallelism": 2`, 1)
+	for _, path := range []string{"/v1/simulate", "/v1/simulate?stream=iterations"} {
+		resp, body = post(t, ts.URL+path, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s with partition+parallelism: status = %d, want 400: %s", path, resp.StatusCode, body)
+		}
+		if !strings.Contains(body, "serial multitask admission") {
+			t.Fatalf("%s error does not name the admission constraint: %s", path, body)
+		}
+	}
+}
+
 func TestSimulateStreamIterations(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Post(ts.URL+"/v1/simulate?stream=iterations", "application/json",

@@ -38,6 +38,33 @@ type ArrivalSource interface {
 	Draw(rng *rand.Rand, dst []int) []int
 }
 
+// ShardableArrivals is the seam of the sharded execution mode
+// (Options.Parallelism >= 1): a process that can produce any
+// iteration's arrivals by index, independently of the iterations drawn
+// before it. All built-in processes implement it; a custom Arrivals
+// that does not is rejected by Validate when sharding is requested.
+type ShardableArrivals interface {
+	Arrivals
+	// StartSharded validates the process for a run of the given mix
+	// size, iteration count and seed, and returns a fresh indexed
+	// source. Sequential cross-iteration state (the on-off Markov
+	// phase) is precomputed here from a dedicated seed stream, so every
+	// shard derives the identical sequence. Each shard calls
+	// StartSharded itself; an IndexedSource belongs to one shard.
+	StartSharded(tasks, iterations int, seed int64) (IndexedSource, error)
+}
+
+// IndexedSource draws iterations by index: DrawAt(i, ...) returns the
+// same arrivals whether or not any other index was drawn before it, on
+// this source or another shard's.
+type IndexedSource interface {
+	// DrawAt appends iteration iter's task indices, in execution
+	// order, to dst and returns the extended slice. rng is positioned
+	// at the start of iteration iter's draw stream; all randomness must
+	// come from it.
+	DrawAt(iter int, rng *rand.Rand, dst []int) []int
+}
+
 // Bernoulli is the paper's §7 arrival process and the default: each
 // application appears independently with probability P, at least one
 // always runs, and the order is shuffled uniformly. The kernel's
@@ -87,6 +114,23 @@ func (s *bernoulliSource) Draw(rng *rand.Rand, dst []int) []int {
 // swap is a method value so Draw does not allocate a fresh closure per
 // iteration.
 func (s *bernoulliSource) swap(i, j int) { s.buf[i], s.buf[j] = s.buf[j], s.buf[i] }
+
+// StartSharded implements ShardableArrivals. Bernoulli draws are
+// already independent per iteration, so the indexed source is the
+// sequential draw fed by the iteration's stream.
+func (b Bernoulli) StartSharded(tasks, iterations int, seed int64) (IndexedSource, error) {
+	src, err := b.Start(tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &bernoulliIndexed{src.(*bernoulliSource)}, nil
+}
+
+type bernoulliIndexed struct{ *bernoulliSource }
+
+func (s *bernoulliIndexed) DrawAt(_ int, rng *rand.Rand, dst []int) []int {
+	return s.Draw(rng, dst)
+}
 
 // OnOff is a bursty, Markov-modulated arrival process: a two-state
 // (on/off) chain modulates the per-application inclusion probability,
@@ -173,6 +217,69 @@ func (s *onOffSource) Draw(rng *rand.Rand, dst []int) []int {
 
 func (s *onOffSource) swap(i, j int) { s.buf[i], s.buf[j] = s.buf[j], s.buf[i] }
 
+// StartSharded implements ShardableArrivals. The Markov phase sequence
+// is the one sequential dependency of this process, so it is
+// precomputed for the whole run from the dedicated phase stream of the
+// run seed — every shard derives the identical sequence — and DrawAt
+// then draws iteration i's inclusions under phases[i] from the
+// iteration's own stream. (The sharded discipline differs from the
+// sequential one by construction: transition draws do not share a
+// generator with inclusion draws.)
+func (o OnOff) StartSharded(tasks, iterations int, seed int64) (IndexedSource, error) {
+	if _, err := o.Start(tasks); err != nil {
+		return nil, err
+	}
+	if iterations <= 0 {
+		return nil, fmt.Errorf("sim: on-off sharded start needs a positive iteration count, got %d", iterations)
+	}
+	phases := make([]bool, iterations)
+	rng := newStreamRand(seed, phaseDomain, 0)
+	on := !o.StartOff
+	for i := range phases {
+		// Transition first, then record the state the iteration draws
+		// under, matching the sequential source.
+		if on {
+			if rng.Float64() < o.OnToOff {
+				on = false
+			}
+		} else {
+			if rng.Float64() < o.OffToOn {
+				on = true
+			}
+		}
+		phases[i] = on
+	}
+	return &onOffIndexed{pOn: o.POn, pOff: o.POff, phases: phases, tasks: tasks}, nil
+}
+
+type onOffIndexed struct {
+	pOn, pOff float64
+	phases    []bool
+	tasks     int
+	buf       []int
+}
+
+func (s *onOffIndexed) DrawAt(iter int, rng *rand.Rand, dst []int) []int {
+	on := s.phases[iter]
+	p := s.pOff
+	if on {
+		p = s.pOn
+	}
+	for mi := 0; mi < s.tasks; mi++ {
+		if rng.Float64() < p {
+			dst = append(dst, mi)
+		}
+	}
+	if len(dst) == 0 && on && p > 0 {
+		dst = append(dst, rng.Intn(s.tasks))
+	}
+	s.buf = dst
+	rng.Shuffle(len(dst), s.swap)
+	return dst
+}
+
+func (s *onOffIndexed) swap(i, j int) { s.buf[i], s.buf[j] = s.buf[j], s.buf[i] }
+
 // Trace replays a recorded arrival log: iteration i runs exactly the
 // task indices of entry i mod len(Iterations), in order. It consumes no
 // randomness (scenario draws still do), so a trace pins the arrival
@@ -212,4 +319,22 @@ func (s *traceSource) Draw(_ *rand.Rand, dst []int) []int {
 		s.pos = 0
 	}
 	return dst
+}
+
+// StartSharded implements ShardableArrivals: the trace cursor at
+// iteration i is simply i mod len(entries), so indexed replay is the
+// sequential replay.
+func (t Trace) StartSharded(tasks, iterations int, seed int64) (IndexedSource, error) {
+	if _, err := t.Start(tasks); err != nil {
+		return nil, err
+	}
+	return &traceIndexed{entries: t.Iterations}, nil
+}
+
+type traceIndexed struct {
+	entries [][]int
+}
+
+func (s *traceIndexed) DrawAt(iter int, _ *rand.Rand, dst []int) []int {
+	return append(dst, s.entries[iter%len(s.entries)]...)
 }

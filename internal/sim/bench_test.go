@@ -40,6 +40,34 @@ func BenchmarkSimRun(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRunParallel measures sharded execution of the no-prefetch
+// flow at worker counts 1, 2 and 4 (workers=1 isolates the sharding
+// machinery's own cost; higher counts show the scaling headroom —
+// meaningful only on hosts with that many CPUs, which is why
+// BENCH_baseline.json records host_cpus next to every row and the
+// benchgate speedup check is conditional on it).
+func BenchmarkSimRunParallel(b *testing.B) {
+	mix := benchMix()
+	p := platform.Default(8)
+	p.ISPs = 1
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			opt := sim.Options{
+				Approach:    sim.NoPrefetch,
+				Iterations:  400,
+				Seed:        1,
+				Parallelism: workers,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(mix, p, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMultitaskRun measures the event-driven multitask kernel on a
 // double-width (16-tile) platform at partition counts 1, 2 and 4: the
 // cost of the fabric admission loop itself (partitions=1 is whole-

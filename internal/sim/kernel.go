@@ -44,7 +44,12 @@ import (
 // buffers (BenchmarkSimRun and TestSimRunAllocs track this, for the
 // serial and multitask paths both).
 
-// kernel carries one run's state across the stages.
+// kernel carries one run's state across the stages. In sharded mode
+// (Options.Parallelism >= 1) one master kernel owns the prepared
+// artifacts and the final aggregate while each worker drives its own
+// shard kernel — a full copy of the run-time state (fabric, scratch,
+// RNG, estimators) over the shared read-only design-time tables — so
+// the single-goroutine hot path below runs unchanged on every shard.
 type kernel struct {
 	mix  []TaskMix
 	p    platform.Platform
@@ -63,14 +68,32 @@ type kernel struct {
 	useReuse  bool
 	interTask bool
 
-	mkQ *stats.Quantiles // per-iteration makespan tail (ms)
-	ovQ *stats.Quantiles // per-iteration overhead tail (ms)
-	qdQ *stats.Quantiles // per-instance queueing-delay tail (ms)
-	rtQ *stats.Quantiles // per-instance response-time tail (ms)
+	// shardWorkers is the resolved Parallelism: 0 sequential, >= 1
+	// sharded. isrc and polRng exist on shard kernels only: the indexed
+	// arrival source and, under the random replacement policy, the
+	// shard's policy generator (re-pointed at each iteration's stream).
+	shardWorkers int
+	isrc         IndexedSource
+	polRng       *rand.Rand
+
+	mkQ tailEstimator // per-iteration makespan tail (ms)
+	ovQ tailEstimator // per-iteration overhead tail (ms)
+	qdQ tailEstimator // per-instance queueing-delay tail (ms)
+	rtQ tailEstimator // per-instance response-time tail (ms)
 
 	maxInFlight int
 
 	sc scratch
+}
+
+// tailEstimator is the streaming-quantile seam: the sequential path
+// keeps the P² estimator (stats.Quantiles) whose estimates all
+// historical aggregates are pinned against; the sharded path uses the
+// mergeable sketch (stats.Sketch) so per-shard tails combine into one
+// order-invariant result.
+type tailEstimator interface {
+	Add(float64)
+	Quantile(float64) float64
 }
 
 // flight is one admitted, not-yet-retired instance of the execute
@@ -158,15 +181,36 @@ func Validate(mix []TaskMix, p platform.Platform, opt Options) error {
 	if err := validateWeights(mix); err != nil {
 		return err
 	}
-	if _, _, _, err := opt.Multitask.resolve(p.Tiles); err != nil {
+	_, modeName, _, err := opt.Multitask.resolve(p.Tiles)
+	if err != nil {
+		return err
+	}
+	workers, err := opt.shardWorkers(modeName)
+	if err != nil {
 		return err
 	}
 	arrivals := opt.Arrivals
 	if arrivals == nil {
 		arrivals = Bernoulli{P: opt.InclusionProb}
 	}
-	_, err := arrivals.Start(len(mix))
-	return err
+	if _, err := arrivals.Start(len(mix)); err != nil {
+		return err
+	}
+	if workers > 0 {
+		sa, ok := arrivals.(ShardableArrivals)
+		if !ok {
+			return fmt.Errorf("sim: arrival process %q cannot run sharded (parallelism %d): it has no indexed per-iteration draw",
+				arrivals.Name(), opt.Parallelism)
+		}
+		iters := opt.Iterations
+		if iters <= 0 {
+			iters = 1000
+		}
+		if _, err := sa.StartSharded(len(mix), iters, opt.Seed); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // newKernel validates the inputs, resolves defaults, and runs the
@@ -208,23 +252,43 @@ func newKernel(mix []TaskMix, p platform.Platform, opt Options) (*kernel, error)
 	if err != nil {
 		return nil, err
 	}
+	k.shardWorkers, err = opt.shardWorkers(k.modeName)
+	if err != nil {
+		return nil, err
+	}
 	k.useReuse = opt.Approach == RunTime || opt.Approach == RunTimeInterTask || opt.Approach == Hybrid
 	k.interTask = opt.Approach == RunTimeInterTask ||
 		(opt.Approach == Hybrid && !opt.DisableInterTask)
-	k.sc.endOfFn = func(id graph.SubtaskID) model.Time { return k.sc.tl.ExecEnd[id] }
-	k.sc.criticalFn = func(id graph.SubtaskID) bool { return k.sc.curAnalysis.IsCritical(id) }
-	k.sc.residentFn = func(id graph.SubtaskID) bool { return k.sc.resident[id] }
+	k.bindScratch()
 
 	if err := k.prepare(analyze); err != nil {
 		return nil, err
 	}
 
 	k.fab = fabric.New(p, policy)
-	k.mkQ = stats.NewQuantiles(0.5, 0.95, 0.99)
-	k.ovQ = stats.NewQuantiles(0.5, 0.95, 0.99)
-	k.qdQ = stats.NewQuantiles(0.5, 0.95, 0.99)
-	k.rtQ = stats.NewQuantiles(0.5, 0.95, 0.99)
+	if k.shardWorkers > 0 {
+		// Sharded runs merge per-shard tails into the master's
+		// sketches; the sequential path keeps the P²-pinned estimators.
+		k.mkQ = stats.NewSketch(0)
+		k.ovQ = stats.NewSketch(0)
+		k.qdQ = stats.NewSketch(0)
+		k.rtQ = stats.NewSketch(0)
+	} else {
+		k.mkQ = stats.NewQuantiles(0.5, 0.95, 0.99)
+		k.ovQ = stats.NewQuantiles(0.5, 0.95, 0.99)
+		k.qdQ = stats.NewQuantiles(0.5, 0.95, 0.99)
+		k.rtQ = stats.NewQuantiles(0.5, 0.95, 0.99)
+	}
 	return k, nil
+}
+
+// bindScratch installs the per-kernel scratch closures the hot path
+// hands to the layers below without allocating per instance. Each shard
+// kernel binds its own set over its own scratch.
+func (k *kernel) bindScratch() {
+	k.sc.endOfFn = func(id graph.SubtaskID) model.Time { return k.sc.tl.ExecEnd[id] }
+	k.sc.criticalFn = func(id graph.SubtaskID) bool { return k.sc.curAnalysis.IsCritical(id) }
+	k.sc.residentFn = func(id graph.SubtaskID) bool { return k.sc.resident[id] }
 }
 
 // prepare is the design-time stage: schedule (and in deadline mode,
@@ -309,6 +373,9 @@ func (k *kernel) canceled() error {
 
 // run executes the per-iteration stages and finishes the aggregate.
 func (k *kernel) run() (*Result, error) {
+	if k.shardWorkers > 0 {
+		return k.runSharded()
+	}
 	for iter := 0; iter < k.opt.Iterations; iter++ {
 		if err := k.canceled(); err != nil {
 			return nil, fmt.Errorf("sim: canceled after %d of %d iterations: %w", iter, k.opt.Iterations, err)
@@ -319,45 +386,57 @@ func (k *kernel) run() (*Result, error) {
 		todo := k.src.Draw(k.rng, k.sc.todo[:0])
 		k.sc.todo = todo
 
-		// Stage 2: select one prepared artifact per arrival.
-		instances, miss, err := k.selectInstances(todo)
+		rec, err := k.iterate(iter, todo)
 		if err != nil {
 			return nil, err
 		}
-		if miss {
-			k.res.DeadlineMisses++
-		}
-
-		// Stage 3: event-driven execution over the fabric.
-		clock0 := k.clock
-		loads0, reuses0 := k.res.Loads, k.res.Reuses
-		over0 := k.res.ActualTotal - k.res.IdealTotal
-		peak, err := k.executeIteration(instances)
-		if err != nil {
-			return nil, err
-		}
-		if peak > k.maxInFlight {
-			k.maxInFlight = peak
-		}
-
-		// Stage 4: per-iteration accounting.
-		rec := IterationRecord{
-			Iteration:    iter,
-			Instances:    len(instances),
-			MaxInFlight:  peak,
-			Makespan:     k.clock.Sub(clock0),
-			Overhead:     (k.res.ActualTotal - k.res.IdealTotal) - over0,
-			Loads:        k.res.Loads - loads0,
-			Reuses:       k.res.Reuses - reuses0,
-			DeadlineMiss: miss,
-		}
-		k.mkQ.Add(rec.Makespan.Milliseconds())
-		k.ovQ.Add(rec.Overhead.Milliseconds())
 		if k.opt.Observer != nil {
 			k.opt.Observer(rec)
 		}
 	}
 	return k.finish(), nil
+}
+
+// iterate runs stages 2–4 for one iteration whose arrivals are already
+// drawn, folding the outcome into k.res and the tail estimators, and
+// returns the iteration's record. It is the body shared by the
+// sequential loop and the sharded executor.
+func (k *kernel) iterate(iter int, todo []int) (IterationRecord, error) {
+	// Stage 2: select one prepared artifact per arrival.
+	instances, miss, err := k.selectInstances(todo)
+	if err != nil {
+		return IterationRecord{}, err
+	}
+	if miss {
+		k.res.DeadlineMisses++
+	}
+
+	// Stage 3: event-driven execution over the fabric.
+	clock0 := k.clock
+	loads0, reuses0 := k.res.Loads, k.res.Reuses
+	over0 := k.res.ActualTotal - k.res.IdealTotal
+	peak, err := k.executeIteration(instances)
+	if err != nil {
+		return IterationRecord{}, err
+	}
+	if peak > k.maxInFlight {
+		k.maxInFlight = peak
+	}
+
+	// Stage 4: per-iteration accounting.
+	rec := IterationRecord{
+		Iteration:    iter,
+		Instances:    len(instances),
+		MaxInFlight:  peak,
+		Makespan:     k.clock.Sub(clock0),
+		Overhead:     (k.res.ActualTotal - k.res.IdealTotal) - over0,
+		Loads:        k.res.Loads - loads0,
+		Reuses:       k.res.Reuses - reuses0,
+		DeadlineMiss: miss,
+	}
+	k.mkQ.Add(rec.Makespan.Milliseconds())
+	k.ovQ.Add(rec.Overhead.Milliseconds())
+	return rec, nil
 }
 
 // selectInstances is the point-selection stage: scenario draws plus, in
@@ -735,5 +814,10 @@ func (k *kernel) finish() *Result {
 	res.MultitaskMode = k.modeName
 	res.Partitions = k.partitions
 	res.MaxInFlight = k.maxInFlight
+	if k.shardWorkers > 0 {
+		res.Execution = "sharded"
+	} else {
+		res.Execution = "sequential"
+	}
 	return res
 }

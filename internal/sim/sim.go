@@ -33,9 +33,11 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"drhwsched/internal/assign"
 	"drhwsched/internal/core"
@@ -87,11 +89,53 @@ type TaskMix struct {
 	ScenarioWeights []float64
 }
 
+// AutoParallelism asks Run to pick the shard worker count itself: one
+// per available CPU under serial admission, falling back to the
+// sequential path for the shared-fabric multitask modes.
+const AutoParallelism = -1
+
+// ErrParallelMultitask is returned (wrapped) when an explicit
+// Parallelism >= 1 is combined with partition or greedy multitask
+// admission. Those modes interleave instances on one shared fabric
+// whose residency deliberately carries across iterations, so their
+// correctness reference is the warm sequential path; sharded
+// replication would silently change what they measure. Use
+// AutoParallelism to get the sequential fallback without an error.
+var ErrParallelMultitask = errors.New("sharded parallel execution requires serial multitask admission")
+
 // Options configure a simulation run.
 type Options struct {
 	Approach   Approach
 	Iterations int // paper: 1000
 	Seed       int64
+
+	// Parallelism selects the kernel's execution mode.
+	//
+	// 0 (the default) is the sequential warm-fabric path: iterations
+	// run back to back on one goroutine, and tile residency,
+	// availability timelines and the clock carry across iterations —
+	// the paper's §7 model and the golden reference all historical
+	// aggregates are pinned against.
+	//
+	// A value >= 1 switches to sharded execution: the iteration stream
+	// is cut into fixed-size chunks, each an independent Monte-Carlo
+	// replication — cold fabric at the chunk start, the usual warm
+	// chaining within the chunk — with every iteration drawing from its
+	// own counter-derived RNG stream (seed.go), distributed across that
+	// many workers. Aggregates are a pure function of the inputs and
+	// Seed — every Parallelism >= 1 yields bit-identical Results
+	// (scalars exactly, tails from the same merged sketch), so
+	// Parallelism: 1 is the sequential reference of the sharded family.
+	// Note that 0 and 1 differ in semantics, not only in speed:
+	// residency chains across a chunk, not across the whole run.
+	//
+	// AutoParallelism (-1) uses one worker per available CPU under
+	// serial admission and quietly falls back to the sequential path
+	// for partition/greedy modes; an explicit Parallelism >= 1 with
+	// those modes fails with ErrParallelMultitask (see its doc). The
+	// arrival process must support indexed draws (ShardableArrivals) —
+	// the built-in Bernoulli, OnOff and Trace processes all do.
+	Parallelism int
 
 	// Policy is the replacement policy (nil: LRU, the default module).
 	Policy reconfig.Policy
@@ -149,6 +193,33 @@ type Options struct {
 	Context context.Context
 }
 
+// shardWorkers resolves the Parallelism knob against the resolved
+// admission-mode name: 0 means the sequential warm-fabric path, any
+// positive count means sharded execution with that many workers.
+func (o Options) shardWorkers(mode string) (int, error) {
+	switch {
+	case o.Parallelism == 0:
+		return 0, nil
+	case o.Parallelism == AutoParallelism:
+		if mode != "serial" {
+			// Shared-fabric admission stays on the warm sequential
+			// reference; see the Parallelism and ErrParallelMultitask
+			// docs for why sharded replication is not offered there.
+			return 0, nil
+		}
+		return runtime.GOMAXPROCS(0), nil
+	case o.Parallelism > 0:
+		if mode != "serial" {
+			return 0, fmt.Errorf("sim: parallelism %d with multitask mode %q: %w",
+				o.Parallelism, mode, ErrParallelMultitask)
+		}
+		return o.Parallelism, nil
+	default:
+		return 0, fmt.Errorf("sim: parallelism %d is invalid (0 sequential, %d auto, or a positive worker count)",
+			o.Parallelism, AutoParallelism)
+	}
+}
+
 // AnalyzeFunc computes or retrieves the design-time analysis of a
 // schedule on a platform.
 type AnalyzeFunc func(*assign.Schedule, platform.Platform, core.Options) (*core.Analysis, error)
@@ -199,6 +270,13 @@ type Result struct {
 	MultitaskMode string
 	Partitions    int
 	MaxInFlight   int
+
+	// Execution names the kernel path: "sequential" (warm-fabric
+	// reference, Parallelism 0) or "sharded" (independent per-iteration
+	// replications, Parallelism >= 1). The worker count is deliberately
+	// not recorded — a sharded Result is identical for every worker
+	// count, and recording it would break that.
+	Execution string
 
 	// CriticalPct is the average share of critical subtasks across the
 	// analyses used (meaningful for Hybrid only).

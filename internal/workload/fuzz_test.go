@@ -1,0 +1,125 @@
+// Fuzz coverage for the JSON workload schema: ParseRun must reject
+// malformed documents with an error — never a panic — and any document
+// it accepts must survive a DocOf/ExportMix round-trip (export the
+// parsed mix, re-parse it, get the same structure back). The sim
+// block's scalar options, including the "parallelism" field introduced
+// for sharded execution, must resolve to exactly what the document
+// said.
+//
+// The seed corpus under testdata/fuzz/FuzzParseRun/ pins the
+// interesting shapes (full sim block, multitask, arrivals variants,
+// malformed fragments); `go test -fuzz=FuzzParseRun ./internal/workload`
+// explores from there.
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+
+	"drhwsched/internal/tcm"
+)
+
+func FuzzParseRun(f *testing.F) {
+	seeds := []string{
+		// Minimal valid document.
+		`{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":10}]}]}]}`,
+		// Full sim block, sharded execution requested.
+		`{"name":"pipe","platform":{"tiles":4,"load_ms":4,"isps":1},
+		  "sim":{"approach":"hybrid","iterations":50,"seed":1,"policy":"lru",
+		         "inclusion_prob":0.8,"deadline_ms":2.5,"parallelism":2},
+		  "tasks":[{"name":"p","scenario_weights":[1],
+		    "scenarios":[{"subtasks":[{"name":"a","exec_ms":10,"config":"c/a"},
+		                              {"name":"b","exec_ms":12,"on_isp":true}],
+		                  "edges":[{"from":0,"to":1,"bytes":64}]}]}]}`,
+		// Auto parallelism with a multitask block (rejected at Validate
+		// time, not parse time — the parser must still accept it).
+		`{"sim":{"parallelism":-1,"multitask":{"mode":"partition","partitions":2}},
+		  "tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		// Arrival-process variants.
+		`{"sim":{"arrivals":{"process":"onoff","p_on":0.9,"start_off":true}},
+		  "tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		`{"sim":{"arrivals":{"process":"trace","trace":[[0],[],[0]]}},
+		  "tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		// Malformed shapes the parser must reject without panicking.
+		`{"tasks":[]}`,
+		`{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":0}]}]}]}`,
+		`{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}],"edges":[{"from":0,"to":9}]}]}]}`,
+		`{"sim":{"approach":"psychic"},"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		`{"sim":{"policy":"oracle"},"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		`{"sim":{"arrivals":{"process":"trace"}},"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		`{"sim":{"arrivals":{"process":"bernoulli","p":-0.5}},"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		`{"sim":{"multitask":{"mode":"anarchy"}},"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		`{"platform":{"tiles":-3},"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1}]}]}]}`,
+		`{"tasks":`,
+		`null`,
+		`[]`,
+		`{"tasks":[{"scenarios":[{"subtasks":[{"name":"a","exec_ms":1e308}]}]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseRun(data)
+		if err != nil {
+			return // rejected cleanly — all the contract asks of bad input
+		}
+
+		// Accepted documents resolve scalars verbatim: re-decode the raw
+		// bytes and cross-check the fields ParseRun copies through.
+		var doc MixDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("ParseRun accepted bytes plain decoding rejects: %v", err)
+		}
+		if doc.Sim != nil {
+			if spec.Options.Parallelism != doc.Sim.Parallelism {
+				t.Fatalf("parallelism %d resolved as %d", doc.Sim.Parallelism, spec.Options.Parallelism)
+			}
+			if spec.Options.Seed != doc.Sim.Seed || spec.Options.Iterations != doc.Sim.Iterations {
+				t.Fatalf("sim scalars drifted: doc %+v, options %+v", doc.Sim, spec.Options)
+			}
+		} else if spec.Options.Parallelism != 0 {
+			t.Fatalf("no sim block but parallelism = %d", spec.Options.Parallelism)
+		}
+
+		// Round-trip: exporting the parsed mix and re-parsing must
+		// reproduce the task structure exactly.
+		var tasks []*tcm.Task
+		var weights [][]float64
+		for _, m := range spec.Mix {
+			tasks = append(tasks, m.Task)
+			weights = append(weights, m.ScenarioWeights)
+		}
+		out, err := ExportMix(spec.Name, tasks, weights)
+		if err != nil {
+			t.Fatalf("exporting an accepted mix: %v", err)
+		}
+		spec2, err := ParseRun(out)
+		if err != nil {
+			t.Fatalf("re-parsing an exported mix: %v\n%s", err, out)
+		}
+		if spec2.Subtasks() != spec.Subtasks() {
+			t.Fatalf("round trip changed subtask count: %d -> %d", spec.Subtasks(), spec2.Subtasks())
+		}
+		if len(spec2.Mix) != len(spec.Mix) {
+			t.Fatalf("round trip changed task count: %d -> %d", len(spec.Mix), len(spec2.Mix))
+		}
+		for i := range spec.Mix {
+			a, b := spec.Mix[i].Task, spec2.Mix[i].Task
+			if len(a.Scenarios) != len(b.Scenarios) {
+				t.Fatalf("task %d: round trip changed scenario count: %d -> %d",
+					i, len(a.Scenarios), len(b.Scenarios))
+			}
+			for s := range a.Scenarios {
+				ga, gb := a.Scenarios[s], b.Scenarios[s]
+				if ga.Len() != gb.Len() {
+					t.Fatalf("task %d scenario %d: subtask count %d -> %d", i, s, ga.Len(), gb.Len())
+				}
+				if len(ga.Edges()) != len(gb.Edges()) {
+					t.Fatalf("task %d scenario %d: edge count %d -> %d",
+						i, s, len(ga.Edges()), len(gb.Edges()))
+				}
+			}
+		}
+	})
+}

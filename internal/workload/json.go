@@ -40,7 +40,7 @@ import (
 //	"sim": {"approach": "hybrid", "iterations": 1000, "seed": 1,
 //	        "policy": "lru", "inclusion_prob": 0.8,
 //	        "scheduler_cost": false, "no_intertask": false,
-//	        "deadline_ms": 0,
+//	        "deadline_ms": 0, "parallelism": 0,
 //	        "arrivals": {"process": "onoff", "p_on": 0.95},
 //	        "multitask": {"mode": "partition", "partitions": 2}}
 //
@@ -87,6 +87,11 @@ type SimDoc struct {
 	SchedulerCost bool    `json:"scheduler_cost,omitempty"`
 	NoInterTask   bool    `json:"no_intertask,omitempty"`
 	DeadlineMS    float64 `json:"deadline_ms,omitempty"`
+	// Parallelism selects the kernel's execution mode: 0 (or absent)
+	// the sequential reference path, N >= 1 sharded execution with N
+	// workers, -1 auto (one worker per CPU under serial admission, the
+	// sequential path otherwise). See sim.Options.Parallelism.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Arrivals selects the workload arrival process; absent means the
 	// paper's Bernoulli draw under inclusion_prob.
 	Arrivals *ArrivalsDoc `json:"arrivals,omitempty"`
@@ -257,8 +262,14 @@ func (doc *MixDoc) Mix() ([]*tcm.Task, [][]float64, error) {
 			}
 			g := graph.New(name)
 			for _, st := range sd.Subtasks {
-				if st.ExecMS <= 0 {
-					return nil, nil, fmt.Errorf("workload: %s/%s: non-positive exec time", name, st.Name)
+				// Validate after the millisecond conversion: a float that
+				// is positive on the wire can still overflow the internal
+				// microsecond representation.
+				if model.MS(st.ExecMS) <= 0 {
+					return nil, nil, fmt.Errorf("workload: %s/%s: exec time %v ms not representable as a positive duration", name, st.Name, st.ExecMS)
+				}
+				if model.MS(st.LoadMS) < 0 {
+					return nil, nil, fmt.Errorf("workload: %s/%s: load time %v ms not representable", name, st.Name, st.LoadMS)
 				}
 				cfg := graph.ConfigID(st.Config)
 				if cfg == "" {
@@ -429,6 +440,7 @@ func (sd *SimDoc) Resolve() (sim.Options, error) {
 	}
 	opt.Iterations = sd.Iterations
 	opt.Seed = sd.Seed
+	opt.Parallelism = sd.Parallelism
 	opt.InclusionProb = sd.InclusionProb
 	opt.SchedulerCost = sd.SchedulerCost
 	opt.DisableInterTask = sd.NoInterTask

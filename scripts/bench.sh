@@ -5,17 +5,26 @@
 #   BENCH_sim.json     sim kernel (per approach) + engine sweep
 #   BENCH_fabric.json  multitask kernel at partition counts 1/2/4
 #
-# One record per benchmark with ns/op, B/op and allocs/op. CI uploads
-# both files as artifacts so the performance trajectory (especially the
-# hot paths' allocation budgets) has data points across commits.
+# One record per benchmark with ns/op, B/op, allocs/op and the host's
+# logical CPU count (host_cpus — ns/op rows are only comparable between
+# hosts of the same width; see internal/benchgate). CI uploads both
+# files as artifacts so the performance trajectory (especially the hot
+# paths' allocation budgets) has data points across commits, and then
+# gates BENCH_sim.json against the committed BENCH_baseline.json with
+# cmd/benchgate: allocation regressions past ~1.3x fail the build, and
+# on hosts with >= 4 CPUs the sharded kernel must show its speedup.
 #
 #   BENCH_OUT=path         sim output file (default BENCH_sim.json)
 #   FABRIC_OUT=path        fabric output file (default BENCH_fabric.json)
-#   BENCHTIME=5x           -benchtime for BenchmarkSimRun
+#   BENCH_BASELINE=path    gate baseline (default BENCH_baseline.json;
+#                          set BENCH_GATE=0 to skip the gate)
+#   BENCHTIME=5x           -benchtime for BenchmarkSimRun*
 #   SWEEP_BENCHTIME=3x     -benchtime for BenchmarkEngineSweep
 #   FABRIC_BENCHTIME=5x    -benchtime for BenchmarkMultitaskRun
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+NCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 OUT="${BENCH_OUT:-BENCH_sim.json}"
 FABRIC="${FABRIC_OUT:-BENCH_fabric.json}"
@@ -25,7 +34,7 @@ trap 'rm -f "$RAW" "$FABRIC_RAW"' EXIT
 
 # to_json RAWFILE OUTFILE: fold `go test -bench` lines into a JSON array.
 to_json() {
-    awk '
+    awk -v ncpu="$NCPU" '
     function unitkey(u) {
         gsub(/\//, "_per_", u)
         gsub(/[^A-Za-z0-9_]/, "_", u)
@@ -38,7 +47,7 @@ to_json() {
         for (i = 3; i + 1 <= NF; i += 2) {
             printf ", \"%s\": %s", unitkey($(i + 1)), $i
         }
-        printf "}"
+        printf ", \"host_cpus\": %d}", ncpu
     }
     BEGIN { printf "[\n" }
     END { printf "\n]\n" }
@@ -47,6 +56,9 @@ to_json() {
 }
 
 echo "== sim kernel benchmarks =="
+# The unanchored pattern picks up BenchmarkSimRunParallel too (the
+# sharded kernel at workers 1/2/4), whose rows feed the benchgate
+# speedup check on wide-enough hosts.
 go test -run '^$' -bench 'BenchmarkSimRun' -benchmem \
     -benchtime "${BENCHTIME:-5x}" ./internal/sim | tee "$RAW"
 
@@ -60,3 +72,9 @@ go test -run '^$' -bench 'BenchmarkMultitaskRun' -benchmem \
 
 to_json "$RAW" "$OUT"
 to_json "$FABRIC_RAW" "$FABRIC"
+
+BASELINE="${BENCH_BASELINE:-BENCH_baseline.json}"
+if [ "${BENCH_GATE:-1}" != "0" ] && [ -f "$BASELINE" ]; then
+    echo "== benchmark regression gate =="
+    go run ./cmd/benchgate -current "$OUT" -baseline "$BASELINE"
+fi
