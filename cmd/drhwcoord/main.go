@@ -11,7 +11,7 @@
 //	          [-addr host:port] [-vnodes N] [-max-inflight N]
 //	          [-max-subtasks N] [-max-sweep-cells N]
 //	          [-idle-timeout D] [-retry-waves N] [-backoff D]
-//	          [-max-backoff D] [-drain D]
+//	          [-max-backoff D] [-drain D] [-pprof-addr host:port]
 //
 // Endpoints: POST /v1/sweep (streaming NDJSON), GET /healthz (pool
 // health with per-replica identity and cache counters), GET /metrics.
@@ -19,6 +19,11 @@
 // Use -addr 127.0.0.1:0 for an ephemeral port; the bound address is
 // logged as "listening on HOST:PORT" once the listener is up. SIGINT
 // and SIGTERM trigger a graceful drain, same as drhwd.
+//
+// Per-request and per-shard-dispatch records (trace and span IDs,
+// replica, wave, timing) are structured slog lines on stderr.
+// -pprof-addr opens a second listener serving net/http/pprof — keep it
+// on a private address; it is off unless the flag is set.
 package main
 
 import (
@@ -26,6 +31,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +42,24 @@ import (
 
 	"drhwsched/internal/cluster"
 )
+
+// servePprof exposes the pprof handlers on their own mux (not
+// http.DefaultServeMux) so the side listener serves profiles and
+// nothing else.
+func servePprof(addr string, logf func(string, ...any)) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logf("pprof listening on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logf("pprof listener: %v", err)
+		}
+	}()
+}
 
 // urlList collects repeated -replica flags, each of which may itself
 // be a comma-separated list.
@@ -63,6 +89,7 @@ func main() {
 		backoff     = flag.Duration("backoff", 0, "first retry wave's backoff, doubling per wave (0: 100ms)")
 		maxBackoff  = flag.Duration("max-backoff", 0, "retry backoff ceiling (0: 2s)")
 		drain       = flag.Duration("drain", 0, "shutdown drain budget for in-flight sweeps (0: 10s)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty: disabled)")
 	)
 	flag.Var(&replicas, "replica", "drhwd replica base URL (repeatable; accepts comma-separated lists)")
 	flag.Parse()
@@ -74,6 +101,9 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr, logger.Printf)
+	}
 	coord, err := cluster.New(cluster.Config{
 		Replicas:          replicas,
 		VNodes:            *vnodes,
@@ -86,6 +116,7 @@ func main() {
 		MaxRetryBackoff:   *maxBackoff,
 		DrainTimeout:      *drain,
 		Logf:              logger.Printf,
+		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "drhwcoord: %v\n", err)

@@ -7,7 +7,7 @@
 //
 //	drhwd [-addr host:port] [-workers N] [-cache N]
 //	      [-max-inflight N] [-max-subtasks N] [-max-sweep-cells N]
-//	      [-timeout D] [-drain D]
+//	      [-timeout D] [-drain D] [-pprof-addr host:port]
 //
 // Endpoints: POST /v1/analyze, POST /v1/simulate (add
 // ?stream=iterations for per-iteration NDJSON), POST /v1/sweep
@@ -18,6 +18,11 @@
 // logged as "listening on HOST:PORT" once the listener is up. SIGINT
 // and SIGTERM trigger a graceful drain: the listener closes, in-flight
 // requests get -drain to finish, then their contexts are canceled.
+//
+// Per-request records (endpoint, status, duration, request and trace
+// IDs) are structured slog lines on stderr. -pprof-addr opens a second
+// listener serving net/http/pprof — keep it on a loopback or otherwise
+// private address; it is off unless the flag is set.
 package main
 
 import (
@@ -25,6 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +41,24 @@ import (
 	"drhwsched/internal/engine"
 	"drhwsched/internal/server"
 )
+
+// servePprof exposes the pprof handlers on their own mux (not
+// http.DefaultServeMux) so the side listener serves profiles and
+// nothing else.
+func servePprof(addr string, logf func(string, ...any)) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logf("pprof listening on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logf("pprof listener: %v", err)
+		}
+	}()
+}
 
 func main() {
 	var (
@@ -44,10 +70,14 @@ func main() {
 		maxCells    = flag.Int("max-sweep-cells", 0, "per-sweep grid-cell bound before 413 (0: 1024)")
 		timeout     = flag.Duration("timeout", 0, "per-request deadline (0: 60s)")
 		drain       = flag.Duration("drain", 0, "shutdown drain budget for in-flight requests (0: 10s)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty: disabled)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr, logger.Printf)
+	}
 	srv := server.New(server.Config{
 		Engine:         engine.New(engine.Config{Workers: *workers, CacheSize: *cacheSize}),
 		MaxInFlight:    *maxInflight,
@@ -57,6 +87,7 @@ func main() {
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
 		Logf:           logger.Printf,
+		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -24,6 +24,13 @@
 // through -seeds distinct seeds per document, so repeated requests
 // exercise the engine's analysis cache — the CI smoke test asserts the
 // hits are non-zero via -require-cache-hits (summed across targets).
+//
+// Every run mints one W3C trace ID and every request carries a fresh
+// child span in its traceparent header, so a whole load run shows up
+// as one distributed trace in the service's logs. The per-target
+// report compares the service's own Server-Timing measurement against
+// the client-observed latency: the difference is the network plus
+// queueing time the server never saw.
 package main
 
 import (
@@ -41,14 +48,38 @@ import (
 	"sync"
 	"time"
 
+	"drhwsched/internal/obs"
 	"drhwsched/internal/tcm"
 	"drhwsched/internal/workload"
 )
 
 type result struct {
-	status  int // 0 on transport error
-	latency time.Duration
-	err     error
+	target   int // index into the target list
+	status   int // 0 on transport error
+	latency  time.Duration
+	serverMS float64 // Server-Timing app;dur value; -1 when absent
+	err      error
+}
+
+// serverTiming pulls the app handler's self-measured duration (ms) out
+// of a Server-Timing header; -1 when the header or metric is missing.
+func serverTiming(h http.Header) float64 {
+	for _, v := range h.Values("Server-Timing") {
+		for _, part := range strings.Split(v, ",") {
+			fields := strings.Split(strings.TrimSpace(part), ";")
+			if len(fields) < 2 || strings.TrimSpace(fields[0]) != "app" {
+				continue
+			}
+			for _, f := range fields[1:] {
+				if d, ok := strings.CutPrefix(strings.TrimSpace(f), "dur="); ok {
+					if ms, err := strconv.ParseFloat(d, 64); err == nil {
+						return ms
+					}
+				}
+			}
+		}
+	}
+	return -1
 }
 
 // corpusItem is one prepared request.
@@ -195,6 +226,10 @@ func main() {
 		}
 	}
 
+	// One trace for the whole run; each request below carries its own
+	// child span, so server logs stitch the run back together.
+	runTrace := obs.NewTrace()
+
 	// Pacer: one token per 1/rps tick, blocking — saturated workers
 	// throttle the pacer (closed loop) instead of growing a queue.
 	work := make(chan int)
@@ -206,14 +241,22 @@ func main() {
 			defer wg.Done()
 			for i := range work {
 				item := corpus[i%len(corpus)]
-				base := targets[i%len(targets)] // round-robin over the pool
+				ti := i % len(targets) // round-robin over the pool
+				req, err := http.NewRequest(http.MethodPost, targets[ti]+"/v1/"+item.endpoint, bytes.NewReader(item.body))
+				if err != nil {
+					results <- result{target: ti, err: err}
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set(obs.Header, runTrace.Child().String())
 				start := time.Now()
-				resp, err := client.Post(base+"/v1/"+item.endpoint, "application/json", bytes.NewReader(item.body))
-				r := result{latency: time.Since(start), err: err}
+				resp, err := client.Do(req)
+				r := result{target: ti, latency: time.Since(start), serverMS: -1, err: err}
 				if err == nil {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					r.status = resp.StatusCode
+					r.serverMS = serverTiming(resp.Header)
 				}
 				results <- r
 			}
@@ -242,11 +285,25 @@ func main() {
 	}()
 	go func() { wg.Wait(); close(results) }()
 
+	type targetStats struct {
+		lat      []time.Duration
+		serverMS float64 // summed Server-Timing self-measurements
+		clientMS float64 // summed client-observed latency, timed requests only
+		timed    int     // responses that carried Server-Timing
+	}
 	var all []time.Duration
 	var ok2xx, errored int
 	byStatus := map[int]int{}
+	perTarget := make([]targetStats, len(targets))
 	for r := range results {
 		all = append(all, r.latency)
+		ts := &perTarget[r.target]
+		ts.lat = append(ts.lat, r.latency)
+		if r.serverMS >= 0 {
+			ts.serverMS += r.serverMS
+			ts.clientMS += float64(r.latency.Microseconds()) / 1000
+			ts.timed++
+		}
 		switch {
 		case r.err != nil:
 			errored++
@@ -282,21 +339,50 @@ func main() {
 		percentile(all, 0.90).Round(time.Microsecond),
 		percentile(all, 0.99).Round(time.Microsecond),
 		all[len(all)-1].Round(time.Microsecond))
+	fmt.Printf("trace               %s (one child span per request)\n", runTrace.TraceIDString())
+	for ti, base := range targets {
+		ts := &perTarget[ti]
+		if len(ts.lat) == 0 {
+			fmt.Printf("  %s: no requests\n", base)
+			continue
+		}
+		sort.Slice(ts.lat, func(i, j int) bool { return ts.lat[i] < ts.lat[j] })
+		line := fmt.Sprintf("  %s: %d reqs, p50 %v  p95 %v  p99 %v", base, len(ts.lat),
+			percentile(ts.lat, 0.50).Round(time.Microsecond),
+			percentile(ts.lat, 0.95).Round(time.Microsecond),
+			percentile(ts.lat, 0.99).Round(time.Microsecond))
+		if ts.timed > 0 {
+			// Mean server-side handler time vs mean client-observed
+			// time; the gap is transport plus server-side queueing.
+			n := float64(ts.timed)
+			line += fmt.Sprintf(", server %.3fms vs client %.3fms (+%.3fms off-handler)",
+				ts.serverMS/n, ts.clientMS/n, (ts.clientMS-ts.serverMS)/n)
+		}
+		fmt.Println(line)
+	}
 
 	var hits int64
 	var hitsErr error
-	for _, base := range targets {
+	perTargetHits := make([]int64, len(targets))
+	for ti, base := range targets {
 		h, err := cacheHits(client, base)
 		if err != nil {
 			hitsErr = fmt.Errorf("%s: %w", base, err)
+			perTargetHits[ti] = -1
 			continue
 		}
+		perTargetHits[ti] = h
 		hits += h
 	}
 	if hitsErr != nil {
 		fmt.Printf("cache hits          %d (partial; %v)\n", hits, hitsErr)
 	} else {
 		fmt.Printf("cache hits          %d (summed across %d targets)\n", hits, len(targets))
+	}
+	for ti, base := range targets {
+		if perTargetHits[ti] >= 0 {
+			fmt.Printf("  %s: %d hits\n", base, perTargetHits[ti])
+		}
 	}
 
 	if *require2xx >= 0 && rate < *require2xx {

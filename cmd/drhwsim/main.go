@@ -6,7 +6,7 @@
 //	drhwsim [-workload multimedia|pocketgl] [-config file.json] [-export]
 //	        [-approach A] [-tiles N] [-isps N] [-iterations N] [-seed S]
 //	        [-policy P] [-schedcost] [-no-intertask] [-deadline MS]
-//	        [-arrivals A] [-trace file.json]
+//	        [-arrivals A] [-trace file.json] [-trace-out file.json]
 //	        [-multitask M] [-partitions N] [-parallelism P]
 //
 // The accepted names for -approach, -policy, -arrivals and -multitask
@@ -31,6 +31,13 @@
 // modes report the peak in-flight count and per-instance queueing-delay
 // and response-time percentiles.
 //
+// -trace-out records the run's fabric and kernel events and writes a
+// Chrome trace-event JSON file — load it in Perfetto or
+// chrome://tracing to see per-tile loads (prefetch hits vs demand
+// misses), executions, port stalls, evictions, and ISP activity on a
+// shared timeline. Event tracing needs the sequential reference path,
+// so -trace-out conflicts with -parallelism.
+//
 // -parallelism shards the iteration stream across P worker goroutines
 // with counter-derived per-iteration RNG streams; aggregates are
 // bit-identical for every P >= 1 (-1 uses one worker per CPU). Sharding
@@ -46,6 +53,7 @@ import (
 
 	"drhwsched/internal/engine"
 	"drhwsched/internal/model"
+	"drhwsched/internal/obs"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/sim"
 	"drhwsched/internal/tcm"
@@ -71,6 +79,7 @@ func main() {
 		multitask   = flag.String("multitask", "serial", "fabric admission mode: "+workload.Usage(workload.MultitaskModes()))
 		partitions  = flag.Int("partitions", 0, "fixed tile-partition count for -multitask partition (0: 2)")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for sharded execution (0: sequential, -1: one per CPU; serial multitask only)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (Perfetto-loadable; sequential path only)")
 	)
 	flag.Parse()
 
@@ -178,6 +187,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder(0)
+	}
+
 	p := platform.Default(*tiles)
 	p.ISPs = *isps
 	eng := engine.New(engine.Config{})
@@ -193,10 +207,28 @@ func main() {
 		DisableInterTask: *noInterTask,
 		Deadline:         model.MS(*deadlineMS),
 		Parallelism:      *parallelism,
+		Trace:            rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
 		os.Exit(1)
+	}
+
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.ChromeTrace(f, rec.Events(), rec.Drops()); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drhwsim: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("workload            %s\n", *wl)
@@ -212,6 +244,7 @@ func main() {
 	fmt.Printf("loads               %d (%d in initialization phases, %d cancelled, %d saved)\n",
 		r.Loads, r.InitLoads, r.Cancelled, r.SavedLoads)
 	fmt.Printf("reuse               %.1f%% of subtask instances\n", r.ReusePct)
+	fmt.Printf("prefetch            %d hits (load hidden), %d demand misses\n", r.PrefetchHits, r.DemandMisses)
 	fmt.Printf("iter makespan       p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
 		r.IterMakespan.P50, r.IterMakespan.P95, r.IterMakespan.P99)
 	fmt.Printf("iter overhead       p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
@@ -238,6 +271,9 @@ func main() {
 	}
 	if *schedCost {
 		fmt.Printf("scheduler CPU cost  %v (modelled)\n", r.SchedCost)
+	}
+	if rec != nil {
+		fmt.Printf("trace               %d events -> %s (%d dropped)\n", rec.Len(), *traceOut, rec.Drops())
 	}
 	if *deadlineMS > 0 {
 		fmt.Printf("deadline            %vms, %d missed iteration(s), point energy %.0f mJ\n",

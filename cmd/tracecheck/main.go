@@ -1,0 +1,64 @@
+// Command tracecheck validates a Chrome trace-event JSON file against
+// the schema the obs exporter promises (the subset Perfetto and
+// chrome://tracing rely on) and prints the trace's headline counts.
+// The CI smoke test uses it to assert a traced sweep really produced
+// reconfiguration events with prefetch attribution.
+//
+// Usage:
+//
+//	tracecheck [-min-loads N] [-require-prefetch] file.json
+//	cat trace.json | tracecheck -
+//
+// Exit status is non-zero when the file fails validation, holds fewer
+// than -min-loads reconfiguration events, or (with -require-prefetch)
+// carries no prefetch-hit attribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"drhwsched/internal/obs"
+)
+
+func main() {
+	var (
+		minLoads = flag.Int("min-loads", 0, "fail unless the trace holds at least N reconfiguration (load) events")
+		wantHits = flag.Bool("require-prefetch", false, "fail unless at least one load is attributed as a prefetch hit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-loads N] [-require-prefetch] file.json (or - for stdin)")
+		os.Exit(2)
+	}
+
+	var data []byte
+	var err error
+	if name := flag.Arg(0); name == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(name)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	st, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: invalid trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d events on %d tracks, %d loads (%d prefetch hits, %d demand misses), %d dropped\n",
+		st.Events, st.Tracks, st.Loads, st.PrefetchHits, st.DemandMisses, st.Dropped)
+	if st.Loads < *minLoads {
+		fmt.Fprintf(os.Stderr, "tracecheck: %d loads, want >= %d\n", st.Loads, *minLoads)
+		os.Exit(1)
+	}
+	if *wantHits && st.PrefetchHits == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: no prefetch-hit attribution in trace")
+		os.Exit(1)
+	}
+}

@@ -59,6 +59,7 @@ package drhwsched
 
 import (
 	"context"
+	"io"
 
 	"drhwsched/internal/assign"
 	"drhwsched/internal/cluster"
@@ -67,6 +68,7 @@ import (
 	"drhwsched/internal/fabric"
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
+	"drhwsched/internal/obs"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/prefetch"
 	"drhwsched/internal/reconfig"
@@ -320,6 +322,48 @@ var ErrParallelMultitask = sim.ErrParallelMultitask
 func Simulate(mix []TaskMix, p Platform, opt SimOptions) (*SimResult, error) {
 	return sim.Run(mix, p, opt)
 }
+
+// Run-time observability: event tracing and trace-context propagation.
+type (
+	// TraceRecorder collects simulation events into a bounded ring
+	// when assigned to SimOptions.Trace (sequential path only). Nil is
+	// valid and means tracing off with zero hot-path cost.
+	TraceRecorder = obs.Recorder
+	// TraceEvent is one recorded occurrence: admissions, queue waits,
+	// retirements, reconfiguration loads (with prefetch-hit vs
+	// demand-miss attribution), executions, ISP busy intervals, port
+	// stalls, eviction victims, kernel stage timings.
+	TraceEvent = obs.Event
+	// TraceSummary aggregates an event slice (Summarize).
+	TraceSummary = obs.Summary
+	// TraceParent is a W3C trace-context identity (trace ID + span
+	// ID), the correlation token the services propagate.
+	TraceParent = obs.TraceParent
+)
+
+// NewTraceRecorder builds a recorder holding up to capacity events
+// (<= 0: a default of 64Ki); once full, new events are dropped and
+// counted, never blocking the simulation.
+func NewTraceRecorder(capacity int) *TraceRecorder { return obs.NewRecorder(capacity) }
+
+// SummarizeTrace aggregates recorded events into per-kind counts and
+// totals that cross-check the run's SimResult.
+func SummarizeTrace(events []TraceEvent) TraceSummary { return obs.Summarize(events) }
+
+// ExportChromeTrace writes events as Chrome trace-event JSON, loadable
+// in Perfetto or chrome://tracing: one track per tile, port and ISP,
+// with flow arrows linking each load to the execution it fed.
+func ExportChromeTrace(w io.Writer, events []TraceEvent, dropped int64) error {
+	return obs.ChromeTrace(w, events, dropped)
+}
+
+// NewTraceParent mints a fresh W3C trace identity; Child() derives
+// spans from it. ParseTraceParent parses an incoming traceparent
+// header value (obs.Header names the header).
+func NewTraceParent() TraceParent { return obs.NewTrace() }
+
+// ParseTraceParent strictly parses a version-00 traceparent value.
+func ParseTraceParent(s string) (TraceParent, error) { return obs.ParseTraceParent(s) }
 
 // Concurrent batch-experiment engine.
 type (

@@ -13,7 +13,7 @@ import (
 	"log"
 
 	drhw "drhwsched"
-	"drhwsched/internal/trace"
+	"drhwsched/internal/gantt"
 )
 
 func pipeline(name string, stages int) *drhw.Graph {
@@ -119,7 +119,7 @@ func main() {
 	in.LoadFloor = withInter.InitEnd
 	in.TileFree = tileFree
 	fmt.Println("task B body (inter-task case):")
-	fmt.Print(trace.Gantt(in, withInter.Timeline, trace.Options{Width: 64}))
+	fmt.Print(gantt.Gantt(in, withInter.Timeline, gantt.Options{Width: 64}))
 }
 
 func firstInit(r *drhw.RunResult) drhw.Time {

@@ -10,9 +10,9 @@ import (
 	"log"
 
 	drhw "drhwsched"
+	"drhwsched/internal/gantt"
 	"drhwsched/internal/icn"
 	"drhwsched/internal/schedule"
-	"drhwsched/internal/trace"
 )
 
 func main() {
@@ -58,5 +58,5 @@ func main() {
 			e.From, e.To, e.Bytes, mesh.Hops(from, to), mesh.TransferLatency(e.Bytes, from, to))
 	}
 	fmt.Println()
-	fmt.Print(trace.Gantt(in, tl, trace.Options{Width: 64}))
+	fmt.Print(gantt.Gantt(in, tl, gantt.Options{Width: 64}))
 }

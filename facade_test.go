@@ -1,6 +1,8 @@
 package drhwsched_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	drhw "drhwsched"
@@ -111,5 +113,53 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if mr.MultitaskMode != "greedy" || mr.ResponseTime.P50 < 0 {
 		t.Fatalf("greedy multitask run: %+v", mr)
+	}
+}
+
+// TestFacadeTracing exercises the observability aliases: a traced run
+// whose events summarize back to the result and export as valid
+// Chrome trace JSON, plus the trace-context helpers.
+func TestFacadeTracing(t *testing.T) {
+	g := drhw.NewGraph("traced")
+	var ids []drhw.SubtaskID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, g.AddSubtask("s", 10*drhw.Millisecond))
+		if i > 0 {
+			g.AddEdge(ids[i-1], ids[i])
+		}
+	}
+	p := drhw.DefaultPlatform(3)
+	rec := drhw.NewTraceRecorder(0)
+	r, err := drhw.Simulate([]drhw.TaskMix{{Task: drhw.NewTask("traced", g)}}, p, drhw.SimOptions{
+		Approach: drhw.Hybrid, Iterations: 30, Seed: 7, Trace: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := drhw.SummarizeTrace(rec.Events())
+	if sum.Loads != r.Loads || sum.PrefetchHits != r.PrefetchHits {
+		t.Fatalf("trace summary %+v diverges from result (loads %d, hits %d)",
+			sum, r.Loads, r.PrefetchHits)
+	}
+	var buf bytes.Buffer
+	if err := drhw.ExportChromeTrace(&buf, rec.Events(), rec.Drops()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("exported Chrome trace is not valid JSON")
+	}
+
+	tp := drhw.NewTraceParent()
+	back, err := drhw.ParseTraceParent(tp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceIDString() != tp.TraceIDString() {
+		t.Fatalf("traceparent round trip: %s != %s", back.TraceIDString(), tp.TraceIDString())
+	}
+	if child := tp.Child(); child.TraceIDString() != tp.TraceIDString() ||
+		child.SpanIDString() == tp.SpanIDString() {
+		t.Fatalf("child span %s/%s must share the trace and differ in span",
+			child.TraceIDString(), child.SpanIDString())
 	}
 }

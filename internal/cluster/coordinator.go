@@ -6,12 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"drhwsched/internal/obs"
 	"drhwsched/internal/server"
 )
 
@@ -57,8 +60,13 @@ type Config struct {
 	// without an overall timeout (streams are bounded by
 	// StreamIdleTimeout instead).
 	HTTPClient *http.Client
-	// Logf receives lifecycle log lines (nil: silent).
+	// Logf receives lifecycle log lines (nil: silent). The "listening
+	// on HOST:PORT" line is a stable contract scripts grep for.
 	Logf func(format string, args ...any)
+	// Logger receives structured per-request and per-shard records
+	// (endpoint, status, trace/span IDs, replica, timing). Nil means no
+	// structured log.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -109,6 +117,7 @@ type Coordinator struct {
 	mux      *http.ServeMux
 	metrics  *metrics
 	inflight chan struct{}
+	reqSeq   atomic.Int64
 }
 
 // New builds a coordinator over cfg.Replicas.
@@ -246,10 +255,46 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// ctxKey scopes the request-trace context value to this package.
+type ctxKey int
+
+const traceCtxKey ctxKey = iota
+
+// traceFrom recovers the request's trace context inside a handler.
+func traceFrom(ctx context.Context) obs.TraceParent {
+	tp, _ := ctx.Value(traceCtxKey).(obs.TraceParent)
+	return tp
+}
+
+// instrument is the shared middleware: method check, W3C trace-context
+// extraction (accepted from the client or minted here, echoed back),
+// admission control, error mapping, structured request logging, and
+// metrics recording.
 func (c *Coordinator) instrument(endpoint, method string, admit bool, h func(http.ResponseWriter, *http.Request) error) http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tp, tpErr := obs.ParseTraceParent(r.Header.Get(obs.Header))
+		if tpErr != nil {
+			tp = obs.NewTrace()
+		}
+		reqID := fmt.Sprintf("drhwcoord-%d", c.reqSeq.Add(1))
 		w := &statusWriter{ResponseWriter: rw, code: http.StatusOK}
-		defer func() { c.metrics.observe(endpoint, w.code) }()
+		w.Header().Set(obs.Header, tp.String())
+		w.Header().Set("X-Request-Id", reqID)
+		r = r.WithContext(context.WithValue(r.Context(), traceCtxKey, tp))
+		defer func() {
+			c.metrics.observe(endpoint, w.code)
+			if c.cfg.Logger != nil {
+				c.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+					slog.String("endpoint", endpoint),
+					slog.Int("code", w.code),
+					slog.Duration("duration", time.Since(start)),
+					slog.String("request_id", reqID),
+					slog.String("trace_id", tp.TraceIDString()),
+					slog.String("span_id", tp.SpanIDString()),
+				)
+			}
+		}()
 
 		if r.Method != method {
 			w.Header().Set("Allow", method)
@@ -312,13 +357,14 @@ type HealthResponse struct {
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
 	defer cancel()
+	tp := traceFrom(r.Context())
 	out := make([]ReplicaHealth, len(c.replicas))
 	var wg sync.WaitGroup
 	for i, rep := range c.replicas {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[i] = rep.Health(ctx)
+			out[i] = rep.Health(ctx, tp.Child().String())
 		}()
 	}
 	wg.Wait()
@@ -359,6 +405,25 @@ type SweepSummary struct {
 	RetriedCells int              `json:"retried_cells"`
 	RetryWaves   int              `json:"retry_waves"`
 	Cache        server.CacheWire `json:"cache"`
+	// TraceID is the W3C trace the whole sweep ran under; every shard
+	// dispatch below carries a child span of it. ShardDispatches lists
+	// each dispatch (retries included) with its span ID and timing, so
+	// the summary doubles as a flat trace of the fan-out.
+	TraceID         string          `json:"trace_id,omitempty"`
+	ShardDispatches []ShardDispatch `json:"shard_dispatches,omitempty"`
+}
+
+// ShardDispatch is one sub-sweep attempt: the replica it went to, the
+// child span it carried (unique per attempt, even across retries of
+// the same cells), the wave it belonged to, its wall-clock duration as
+// the coordinator measured it, and the error if it failed.
+type ShardDispatch struct {
+	Replica   string  `json:"replica"`
+	SpanID    string  `json:"span_id"`
+	Wave      int     `json:"wave"`
+	Values    int     `json:"values"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
 }
 
 func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) error {
@@ -386,7 +451,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) error 
 	if f, ok := w.(http.Flusher); ok {
 		f.Flush() // commit the headers before the first shard answers
 	}
-	sum, err := c.runSweep(r.Context(), grid, w)
+	sum, err := c.runSweep(r.Context(), traceFrom(r.Context()), grid, w)
 	if err != nil {
 		return fmt.Errorf("sweep: %w", err)
 	}
@@ -402,15 +467,18 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) error 
 
 // shardOut is one sub-sweep's outcome.
 type shardOut struct {
-	url string
-	sum *server.SweepSummary
-	err error
+	url     string
+	span    string
+	values  int
+	elapsed time.Duration
+	sum     *server.SweepSummary
+	err     error
 }
 
 // runSweep fans the grid out over the pool and merges the cell streams
 // into w, retrying undelivered cells when replicas fail. On success the
 // returned summary accounts for every grid cell exactly once.
-func (c *Coordinator) runSweep(parent context.Context, grid *Grid, w http.ResponseWriter) (*SweepSummary, error) {
+func (c *Coordinator) runSweep(parent context.Context, tp obs.TraceParent, grid *Grid, w http.ResponseWriter) (*SweepSummary, error) {
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
@@ -460,6 +528,7 @@ func (c *Coordinator) runSweep(parent context.Context, grid *Grid, w http.Respon
 	}
 
 	summaries := map[string]server.SweepSummary{} // latest per replica
+	var dispatches []ShardDispatch
 	totalShards, retriedCells, failures, waves := 0, 0, 0, 0
 	for {
 		if len(live) == 0 {
@@ -485,16 +554,39 @@ func (c *Coordinator) runSweep(parent context.Context, grid *Grid, w http.Respon
 				Values:     values,
 				Approaches: grid.Lines,
 			}
+			// Every dispatch gets its own child span — a retry of the
+			// same cells on another wave is a new attempt and must not
+			// reuse a span ID.
+			span := tp.Child()
 			go func() {
-				sum, err := rep.SweepShard(ctx, sub, c.cfg.StreamIdleTimeout, func(cell server.SweepCell) {
+				shardStart := time.Now()
+				sum, err := rep.SweepShard(ctx, sub, span.String(), c.cfg.StreamIdleTimeout, func(cell server.SweepCell) {
 					onCell(vis, cell)
 				})
-				results <- shardOut{url: rep.URL, sum: sum, err: err}
+				results <- shardOut{url: rep.URL, span: span.SpanIDString(),
+					values: len(vis), elapsed: time.Since(shardStart), sum: sum, err: err}
 			}()
 		}
 		totalShards += len(assignment)
 		for range assignment {
 			out := <-results
+			d := ShardDispatch{Replica: out.url, SpanID: out.span, Wave: waves,
+				Values: out.values, ElapsedMS: float64(out.elapsed.Microseconds()) / 1000}
+			if out.err != nil {
+				d.Error = out.err.Error()
+			}
+			dispatches = append(dispatches, d)
+			if c.cfg.Logger != nil {
+				c.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "shard",
+					slog.String("replica", out.url),
+					slog.String("trace_id", tp.TraceIDString()),
+					slog.String("span_id", out.span),
+					slog.Int("wave", waves),
+					slog.Int("values", out.values),
+					slog.Duration("duration", out.elapsed),
+					slog.Bool("ok", out.err == nil),
+				)
+			}
 			if out.err != nil {
 				if ctx.Err() == nil {
 					c.logf("drhwcoord: replica %s failed mid-sweep: %v", out.url, out.err)
@@ -548,14 +640,16 @@ func (c *Coordinator) runSweep(parent context.Context, grid *Grid, w http.Respon
 	}
 
 	sum := &SweepSummary{
-		Done:         true,
-		Cells:        grid.Cells(),
-		Delivered:    deliveredCount,
-		Errors:       errCells,
-		Replicas:     len(live),
-		Shards:       totalShards,
-		RetriedCells: retriedCells,
-		RetryWaves:   waves,
+		Done:            true,
+		Cells:           grid.Cells(),
+		Delivered:       deliveredCount,
+		Errors:          errCells,
+		Replicas:        len(live),
+		Shards:          totalShards,
+		RetriedCells:    retriedCells,
+		RetryWaves:      waves,
+		TraceID:         tp.TraceIDString(),
+		ShardDispatches: dispatches,
 	}
 	for _, s := range summaries {
 		sum.Cache.Hits += s.Cache.Hits

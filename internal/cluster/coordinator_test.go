@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"drhwsched/internal/obs"
 	"drhwsched/internal/server"
 )
 
@@ -408,6 +409,183 @@ func TestCoordinatorRejects(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != tc.code {
 			t.Errorf("%s: status = %d, want %d", name, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+// traceCapture records every traceparent header a replica receives on
+// /v1/sweep, in arrival order.
+type traceCapture struct {
+	mu      sync.Mutex
+	headers []string
+}
+
+func (tc *traceCapture) add(h string) {
+	tc.mu.Lock()
+	tc.headers = append(tc.headers, h)
+	tc.mu.Unlock()
+}
+
+func (tc *traceCapture) all() []string {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return append([]string(nil), tc.headers...)
+}
+
+// TestCoordinatorTraceSpansReplicasExactlyOnce is the distributed-trace
+// acceptance gate: a client traceparent must reach the coordinator and
+// both replicas under one trace ID, and every shard dispatch — retries
+// included — must carry its own span ID, minted exactly once. A flaky
+// replica forces a retry wave so the retry path is in the assertion.
+func TestCoordinatorTraceSpansReplicasExactlyOnce(t *testing.T) {
+	const clientTP = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+	capture := func(id string, wrap func(http.ResponseWriter, *http.Request) http.ResponseWriter) (*httptest.Server, *traceCapture) {
+		inner := server.New(server.Config{ReplicaID: id})
+		tc := &traceCapture{}
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/v1/sweep" {
+				inner.ServeHTTP(w, r)
+				return
+			}
+			tc.add(r.Header.Get(obs.Header))
+			if wrap != nil {
+				w = wrap(w, r)
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		return ts, tc
+	}
+
+	var once sync.Once
+	died := make(chan struct{})
+	flaky, flakyTC := capture("flaky", func(w http.ResponseWriter, r *http.Request) http.ResponseWriter {
+		var dead bool
+		once.Do(func() { dead = true })
+		if !dead {
+			return w // already died once; behave on any later request
+		}
+		return &lineLimitWriter{
+			ResponseWriter: w,
+			left:           1,
+			onDie:          func() { close(died) },
+		}
+	})
+	steady, steadyTC := capture("steady", nil)
+
+	_, coord := newCoordinator(t, Config{Replicas: []string{flaky.URL, steady.URL}})
+
+	req, err := http.NewRequest(http.MethodPost, coord.URL+"/v1/sweep",
+		strings.NewReader(sweepBody(`[2, 3, 4, 5, 6, 7, 8, 9]`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.Header, clientTP)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	echo, err := obs.ParseTraceParent(resp.Header.Get(obs.Header))
+	if err != nil {
+		t.Fatalf("coordinator response traceparent: %v", err)
+	}
+	client, _ := obs.ParseTraceParent(clientTP)
+	if echo.TraceIDString() != client.TraceIDString() {
+		t.Fatalf("coordinator joined trace %s, want client's %s",
+			echo.TraceIDString(), client.TraceIDString())
+	}
+
+	var cells []string
+	var sum *SweepSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		if probe.Done {
+			var s SweepSummary
+			if err := json.Unmarshal([]byte(line), &s); err != nil {
+				t.Fatal(err)
+			}
+			sum = &s
+			continue
+		}
+		cells = append(cells, line)
+	}
+	if sum == nil {
+		t.Fatal("coordinator stream cut short")
+	}
+	select {
+	case <-died:
+	default:
+		t.Fatal("flaky replica was never asked to sweep")
+	}
+	requireExactlyOnce(t, cells, 8)
+	if sum.RetryWaves == 0 {
+		t.Fatalf("summary reports no retry waves: %+v", sum)
+	}
+
+	// One trace end to end: the summary and every replica-side header
+	// carry the client's trace ID.
+	if sum.TraceID != client.TraceIDString() {
+		t.Fatalf("summary trace_id = %q, want %q", sum.TraceID, client.TraceIDString())
+	}
+	captured := append(flakyTC.all(), steadyTC.all()...)
+	if len(flakyTC.all()) == 0 || len(steadyTC.all()) == 0 {
+		t.Fatalf("a replica saw no traced sweep: flaky=%d steady=%d",
+			len(flakyTC.all()), len(steadyTC.all()))
+	}
+	// The flaky replica's death forces at least one extra dispatch
+	// beyond the initial two-shard wave.
+	if len(captured) < 3 {
+		t.Fatalf("captured %d dispatch headers, want >= 3 (retry wave missing)", len(captured))
+	}
+	spans := map[string]bool{client.SpanIDString(): true}
+	for _, h := range captured {
+		tp, err := obs.ParseTraceParent(h)
+		if err != nil {
+			t.Fatalf("replica received bad traceparent %q: %v", h, err)
+		}
+		if tp.TraceIDString() != client.TraceIDString() {
+			t.Fatalf("dispatch trace %s, want %s", tp.TraceIDString(), client.TraceIDString())
+		}
+		if spans[tp.SpanIDString()] {
+			t.Fatalf("span ID %s reused across dispatches", tp.SpanIDString())
+		}
+		spans[tp.SpanIDString()] = true
+	}
+
+	// The summary's dispatch log mirrors the wire: same spans, one entry
+	// per attempt, each timed.
+	if len(sum.ShardDispatches) != len(captured) {
+		t.Fatalf("summary lists %d dispatches, replicas saw %d",
+			len(sum.ShardDispatches), len(captured))
+	}
+	onWire := map[string]bool{}
+	for _, h := range captured {
+		tp, _ := obs.ParseTraceParent(h)
+		onWire[tp.SpanIDString()] = true
+	}
+	for _, d := range sum.ShardDispatches {
+		if !onWire[d.SpanID] {
+			t.Fatalf("summary span %s never seen by a replica", d.SpanID)
+		}
+		if d.ElapsedMS < 0 {
+			t.Fatalf("dispatch %+v has negative elapsed time", d)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"drhwsched/internal/obs"
 	"drhwsched/internal/server"
 )
 
@@ -33,15 +34,31 @@ type ReplicaHealth struct {
 	Replica string           `json:"replica,omitempty"`
 	Cache   server.CacheWire `json:"cache,omitzero"`
 	Error   string           `json:"error,omitempty"`
+	// SpanID is the child span the coordinator minted for this probe;
+	// TraceID echoes what the replica reported back, so a mismatch
+	// exposes a proxy stripping trace context. ElapsedMS is the probe's
+	// round-trip as the coordinator measured it.
+	SpanID    string  `json:"span_id,omitempty"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 }
 
-// Health probes the replica's /healthz.
-func (r *Replica) Health(ctx context.Context) ReplicaHealth {
+// Health probes the replica's /healthz under the given trace context
+// (a child span of the coordinator's request; empty means untraced).
+func (r *Replica) Health(ctx context.Context, traceparent string) ReplicaHealth {
 	h := ReplicaHealth{URL: r.URL}
+	start := time.Now()
+	defer func() { h.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000 }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.URL+"/healthz", nil)
 	if err != nil {
 		h.Error = err.Error()
 		return h
+	}
+	if traceparent != "" {
+		req.Header.Set(obs.Header, traceparent)
+		if tp, err := obs.ParseTraceParent(traceparent); err == nil {
+			h.SpanID = tp.SpanIDString()
+		}
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
@@ -61,6 +78,7 @@ func (r *Replica) Health(ctx context.Context) ReplicaHealth {
 	h.OK = true
 	h.Replica = body.Replica
 	h.Cache = body.Cache
+	h.TraceID = body.TraceID
 	return h
 }
 
@@ -70,13 +88,16 @@ var errStreamTruncated = fmt.Errorf("sweep stream ended without a summary line")
 
 // SweepShard drives one sub-sweep on the replica, invoking onCell for
 // every cell line in arrival order and returning the replica's summary
-// line. idle bounds the silence between lines: a replica that stalls
-// longer is abandoned (its request context is canceled) and the call
-// errors, leaving the undelivered cells to the coordinator's retry
-// path. onCell runs on the calling goroutine's stream reader; cells
-// delivered before a mid-stream failure have already been consumed and
-// must not be retried.
-func (r *Replica) SweepShard(ctx context.Context, req server.SweepRequest, idle time.Duration, onCell func(server.SweepCell)) (*server.SweepSummary, error) {
+// line. traceparent, when non-empty, is the child span minted for this
+// dispatch — every dispatch (including a retry of the same cells) must
+// carry a fresh span ID so distributed traces show each attempt
+// exactly once. idle bounds the silence between lines: a replica that
+// stalls longer is abandoned (its request context is canceled) and the
+// call errors, leaving the undelivered cells to the coordinator's
+// retry path. onCell runs on the calling goroutine's stream reader;
+// cells delivered before a mid-stream failure have already been
+// consumed and must not be retried.
+func (r *Replica) SweepShard(ctx context.Context, req server.SweepRequest, traceparent string, idle time.Duration, onCell func(server.SweepCell)) (*server.SweepSummary, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("encoding sub-sweep: %w", err)
@@ -88,6 +109,9 @@ func (r *Replica) SweepShard(ctx context.Context, req server.SweepRequest, idle 
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		hreq.Header.Set(obs.Header, traceparent)
+	}
 
 	var watchdog *time.Timer
 	if idle > 0 {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"reflect"
 	"sync/atomic"
 	"testing"
 
@@ -71,7 +72,7 @@ func TestBatchThreadsArrivalsAndObservers(t *testing.T) {
 		// compare the simulation fields.
 		got := *rr.Result
 		got.CacheHits, got.CacheMisses, got.CacheHitRate = 0, 0, 0
-		if got != *want {
+		if !reflect.DeepEqual(got, *want) {
 			t.Fatalf("cell %d: engine result diverged from serial run\n%+v\n%+v", i, got, want)
 		}
 	}

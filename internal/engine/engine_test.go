@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -432,7 +433,7 @@ func TestShardedSharesAnalysisCache(t *testing.T) {
 			a, b := *prev, *r
 			a.CacheHits, a.CacheMisses, a.CacheHitRate = 0, 0, 0
 			b.CacheHits, b.CacheMisses, b.CacheHitRate = 0, 0, 0
-			if a != b {
+			if !reflect.DeepEqual(a, b) {
 				t.Fatalf("sharded aggregates depend on the worker count:\nP=1 %+v\nP=4 %+v", a, b)
 			}
 		}

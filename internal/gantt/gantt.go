@@ -1,8 +1,8 @@
-// Package trace renders computed timelines as ASCII Gantt charts, the
+// Package gantt renders computed timelines as ASCII Gantt charts, the
 // same visual language as the paper's Figures 3 and 5: one row per tile
 // showing loads ("L") and executions (the subtask number), plus a row
 // for the reconfiguration circuitry.
-package trace
+package gantt
 
 import (
 	"fmt"

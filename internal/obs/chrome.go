@@ -1,0 +1,446 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: renders a recorded event stream in the
+// Trace Event Format that Perfetto and chrome://tracing load. The
+// layout is one process ("fabric") with one track per tile, per
+// reconfiguration port, per ISP, and one "instances" track for
+// admission lifecycles, plus a second process ("kernel") for
+// wall-clock stage timings. Flow events (ph "s"/"f") link each
+// subtask's reconfiguration load to the execution it feeds.
+//
+// Simulated timestamps are already integer microseconds
+// (model.Time), which is exactly the trace-event "ts" unit, so the
+// export is lossless and deterministic.
+
+// chromeEvent is one entry of the traceEvents array. Field order and
+// omitempty choices are part of the exporter's golden/fuzz surface.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Cat  string            `json:"cat,omitempty"`
+	ID   int               `json:"id,omitempty"`
+	BP   string            `json:"bp,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// Track/process numbering. Tids within the fabric process are
+// partitioned by role so tracks sort stably in the viewer.
+const (
+	pidFabric = 1
+	pidKernel = 2
+
+	tidTileBase = 1   // tile N -> tid 1+N
+	tidPortBase = 401 // port N -> tid 401+N
+	tidISPBase  = 601 // ISP N -> tid 601+N
+	tidQueue    = 801 // instance admission lifecycle track
+	tidStage    = 1   // kernel process stage track
+)
+
+// ChromeTrace renders events as a complete Chrome trace-event JSON
+// document. drops is the recorder's drop count, surfaced in
+// otherData so a truncated trace is visibly truncated.
+func ChromeTrace(w io.Writer, events []Event, drops int64) error {
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+16),
+		DisplayTimeUnit: "ms",
+	}
+	if drops > 0 {
+		out.OtherData = map[string]string{"dropped_events": fmt.Sprint(drops)}
+	}
+
+	tiles := map[int]bool{}
+	ports := map[int]bool{}
+	isps := map[int]bool{}
+	stages := false
+	queue := false
+	flowID := 0
+
+	// Index exec starts by (instance, subtask) so each load's flow
+	// arrow can land inside the execution it feeds.
+	type flowKey struct {
+		seq     int
+		subtask string
+	}
+	execStart := map[flowKey]int64{}
+	for _, ev := range events {
+		if ev.Kind == KindExec || ev.Kind == KindISPBusy {
+			k := flowKey{ev.Seq, ev.Subtask}
+			if _, ok := execStart[k]; !ok {
+				execStart[k] = int64(ev.Start)
+			}
+		}
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindLoad:
+			if ev.Tile >= 0 {
+				tiles[ev.Tile] = true
+			}
+			if ev.Port >= 0 {
+				ports[ev.Port] = true
+			}
+			flowID++
+			args := map[string]string{
+				"task":        ev.Task,
+				"config":      ev.Config,
+				"attribution": attribution(ev.Prefetch),
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "load " + ev.Subtask,
+				Ph:   "X",
+				Ts:   int64(ev.Start),
+				Dur:  span(ev),
+				Pid:  pidFabric,
+				Tid:  tidTileBase + ev.Tile,
+				Cat:  "reconfig",
+				Args: args,
+			})
+			// Flow: the load's end feeds the matching exec's start.
+			// The exec event for the same (Seq, Subtask) pair is
+			// emitted separately; binding is by enclosing slice, so
+			// anchor the start inside the load slice.
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "load→exec",
+				Ph:   "s",
+				Ts:   maxInt64(int64(ev.Start), int64(ev.End)-1),
+				Pid:  pidFabric,
+				Tid:  tidTileBase + ev.Tile,
+				Cat:  "flow",
+				ID:   flowID,
+			})
+			finish, ok := execStart[flowKey{ev.Seq, ev.Subtask}]
+			if !ok {
+				// Cancelled load: collapse the arrow onto the load.
+				finish = int64(ev.End)
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "load→exec",
+				Ph:   "f",
+				BP:   "e",
+				Ts:   finish,
+				Pid:  pidFabric,
+				Tid:  tidTileBase + ev.Tile,
+				Cat:  "flow",
+				ID:   flowID,
+			})
+		case KindExec:
+			if ev.Tile >= 0 {
+				tiles[ev.Tile] = true
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: orName(ev.Subtask, "exec"),
+				Ph:   "X",
+				Ts:   int64(ev.Start),
+				Dur:  span(ev),
+				Pid:  pidFabric,
+				Tid:  tidTileBase + ev.Tile,
+				Cat:  "exec",
+				Args: map[string]string{"task": ev.Task, "config": ev.Config},
+			})
+		case KindISPBusy:
+			if ev.ISP >= 0 {
+				isps[ev.ISP] = true
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: orName(ev.Subtask, "exec"),
+				Ph:   "X",
+				Ts:   int64(ev.Start),
+				Dur:  span(ev),
+				Pid:  pidFabric,
+				Tid:  tidISPBase + ev.ISP,
+				Cat:  "isp",
+				Args: map[string]string{"task": ev.Task},
+			})
+		case KindPortStall:
+			tid := tidPortBase
+			if ev.Port >= 0 {
+				ports[ev.Port] = true
+				tid += ev.Port
+			} else {
+				ports[0] = true
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "port stall",
+				Ph:   "X",
+				Ts:   int64(ev.Start),
+				Dur:  span(ev),
+				Pid:  pidFabric,
+				Tid:  tid,
+				Cat:  "stall",
+				Args: map[string]string{"task": ev.Task},
+			})
+		case KindQueue:
+			queue = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "queued " + ev.Task,
+				Ph:   "X",
+				Ts:   int64(ev.Start),
+				Dur:  span(ev),
+				Pid:  pidFabric,
+				Tid:  tidQueue,
+				Cat:  "queue",
+				Args: map[string]string{"seq": fmt.Sprint(ev.Seq)},
+			})
+		case KindRetire:
+			queue = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: orName(ev.Task, "instance"),
+				Ph:   "X",
+				Ts:   int64(ev.Start),
+				Dur:  span(ev),
+				Pid:  pidFabric,
+				Tid:  tidQueue,
+				Cat:  "instance",
+				Args: map[string]string{
+					"seq":         fmt.Sprint(ev.Seq),
+					"ideal_us":    fmt.Sprint(int64(ev.Ideal)),
+					"overhead_us": fmt.Sprint(int64(ev.Overhead)),
+				},
+			})
+		case KindVictim:
+			if ev.Tile >= 0 {
+				tiles[ev.Tile] = true
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "evict " + ev.Config,
+				Ph:   "i",
+				Ts:   int64(ev.Start),
+				Pid:  pidFabric,
+				Tid:  tidTileBase + ev.Tile,
+				Cat:  "victim",
+				Args: map[string]string{"replaced_by": ev.Detail},
+			})
+		case KindStage:
+			stages = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: orName(ev.Detail, "stage"),
+				Ph:   "X",
+				Ts:   int64(ev.Start),
+				Dur:  ev.WallUS,
+				Pid:  pidKernel,
+				Tid:  tidStage,
+				Cat:  "stage",
+				Args: map[string]string{"iter": fmt.Sprint(ev.Iter)},
+			})
+		}
+	}
+
+	// Metadata: name the processes and tracks so the viewer shows
+	// "tile 0", "isp 0" etc. instead of bare tids.
+	meta := []chromeEvent{
+		metaEvent(pidFabric, 0, "process_name", "fabric"),
+	}
+	for _, t := range sortedKeys(tiles) {
+		meta = append(meta, metaEvent(pidFabric, tidTileBase+t, "thread_name", fmt.Sprintf("tile %d", t)))
+	}
+	for _, p := range sortedKeys(ports) {
+		meta = append(meta, metaEvent(pidFabric, tidPortBase+p, "thread_name", fmt.Sprintf("port %d", p)))
+	}
+	for _, i := range sortedKeys(isps) {
+		meta = append(meta, metaEvent(pidFabric, tidISPBase+i, "thread_name", fmt.Sprintf("isp %d", i)))
+	}
+	if queue {
+		meta = append(meta, metaEvent(pidFabric, tidQueue, "thread_name", "instances"))
+	}
+	if stages {
+		meta = append(meta, metaEvent(pidKernel, 0, "process_name", "kernel"))
+		meta = append(meta, metaEvent(pidKernel, tidStage, "thread_name", "stages"))
+	}
+	out.TraceEvents = append(meta, out.TraceEvents...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// orName guards against empty display names — the trace-event schema
+// (and our validator) requires every event to be named.
+func orName(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+func attribution(prefetch bool) string {
+	if prefetch {
+		return "prefetch-hit"
+	}
+	return "demand-miss"
+}
+
+// span clamps an event's duration to be non-negative; Perfetto
+// rejects negative durations outright.
+func span(ev Event) int64 {
+	if ev.End < ev.Start {
+		return 0
+	}
+	return int64(ev.End.Sub(ev.Start))
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func metaEvent(pid, tid int, name, value string) chromeEvent {
+	return chromeEvent{
+		Name: name,
+		Ph:   "M",
+		Pid:  pid,
+		Tid:  tid,
+		Args: map[string]string{"name": value},
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TraceStats summarizes a validated Chrome trace document.
+type TraceStats struct {
+	Events       int
+	Loads        int // cat "reconfig" complete events
+	PrefetchHits int
+	DemandMisses int
+	Tracks       int // thread_name metadata entries
+	Dropped      int64
+}
+
+// ValidateChromeTrace parses data as a Chrome trace-event JSON
+// document and checks it against the subset of the trace-event
+// schema the exporter targets: a top-level traceEvents array whose
+// entries all carry a name, a known phase, integer pid/tid, a
+// non-negative ts for timed phases, non-negative dur on complete
+// events, matched flow start/finish IDs, and string-valued args.
+// It returns per-category counts so callers (smoke's tracecheck,
+// the fuzz harness) can assert on content, not just well-formedness.
+func ValidateChromeTrace(data []byte) (TraceStats, error) {
+	var st TraceStats
+	var doc struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return st, fmt.Errorf("trace document: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return st, fmt.Errorf("trace document: missing traceEvents array")
+	}
+	if d := doc.OtherData["dropped_events"]; d != "" {
+		if _, err := fmt.Sscan(d, &st.Dropped); err != nil {
+			return st, fmt.Errorf("otherData.dropped_events %q: not a number", d)
+		}
+	}
+	flowStarts := map[int]int{}
+	flowEnds := map[int]int{}
+	for i, raw := range doc.TraceEvents {
+		var ev struct {
+			Name *string           `json:"name"`
+			Ph   *string           `json:"ph"`
+			Ts   *float64          `json:"ts"`
+			Dur  *float64          `json:"dur"`
+			Pid  *float64          `json:"pid"`
+			Tid  *float64          `json:"tid"`
+			Cat  string            `json:"cat"`
+			ID   int               `json:"id"`
+			Args map[string]string `json:"args"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return st, fmt.Errorf("traceEvents[%d]: %w", i, err)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return st, fmt.Errorf("traceEvents[%d]: missing name", i)
+		}
+		if ev.Ph == nil {
+			return st, fmt.Errorf("traceEvents[%d] %q: missing ph", i, *ev.Name)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return st, fmt.Errorf("traceEvents[%d] %q: missing pid/tid", i, *ev.Name)
+		}
+		if *ev.Pid != float64(int64(*ev.Pid)) || *ev.Tid != float64(int64(*ev.Tid)) {
+			return st, fmt.Errorf("traceEvents[%d] %q: non-integer pid/tid", i, *ev.Name)
+		}
+		switch *ev.Ph {
+		case "M":
+			if ev.Args["name"] == "" {
+				return st, fmt.Errorf("traceEvents[%d]: metadata %q without args.name", i, *ev.Name)
+			}
+			if *ev.Name == "thread_name" {
+				st.Tracks++
+			}
+		case "X":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return st, fmt.Errorf("traceEvents[%d] %q: complete event needs ts >= 0", i, *ev.Name)
+			}
+			if ev.Dur != nil && *ev.Dur < 0 {
+				return st, fmt.Errorf("traceEvents[%d] %q: negative dur", i, *ev.Name)
+			}
+			st.Events++
+			if ev.Cat == "reconfig" {
+				st.Loads++
+				switch ev.Args["attribution"] {
+				case "prefetch-hit":
+					st.PrefetchHits++
+				case "demand-miss":
+					st.DemandMisses++
+				default:
+					return st, fmt.Errorf("traceEvents[%d] %q: reconfig event without prefetch attribution", i, *ev.Name)
+				}
+			}
+		case "i":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return st, fmt.Errorf("traceEvents[%d] %q: instant event needs ts >= 0", i, *ev.Name)
+			}
+			st.Events++
+		case "s", "f":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return st, fmt.Errorf("traceEvents[%d] %q: flow event needs ts >= 0", i, *ev.Name)
+			}
+			if *ev.Ph == "s" {
+				flowStarts[ev.ID]++
+			} else {
+				flowEnds[ev.ID]++
+			}
+			st.Events++
+		default:
+			return st, fmt.Errorf("traceEvents[%d] %q: unsupported phase %q", i, *ev.Name, *ev.Ph)
+		}
+	}
+	for id, n := range flowStarts {
+		if flowEnds[id] != n {
+			return st, fmt.Errorf("flow id %d: %d starts but %d finishes", id, n, flowEnds[id])
+		}
+	}
+	for id, n := range flowEnds {
+		if flowStarts[id] != n {
+			return st, fmt.Errorf("flow id %d: %d finishes but %d starts", id, n, flowStarts[id])
+		}
+	}
+	return st, nil
+}

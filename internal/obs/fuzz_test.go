@@ -1,0 +1,95 @@
+// Fuzz coverage for the Chrome trace exporter: whatever event stream
+// the recorder hands it — any kinds, out-of-range indices, inverted
+// intervals, hostile strings in names — ChromeTrace must emit a
+// document that its own schema validator accepts. The fuzz input is
+// a compact binary encoding that a decoder expands into an event
+// list, so the fuzzer mutates structure, not JSON text.
+//
+// The seed corpus under testdata/fuzz/FuzzChromeTrace/ pins the
+// interesting shapes (every kind, unmatched loads, zero-duration and
+// inverted spans, unicode names);
+// `go test -fuzz=FuzzChromeTrace ./internal/obs` explores from there.
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"drhwsched/internal/model"
+)
+
+// eventsFromFuzz decodes fuzz bytes into an event list: records of
+// 16 bytes each (kind, iter, seq, tile, port, isp, start, end,
+// flags, name selector). Decoding is total — any input yields some
+// event list — so every mutation exercises the exporter.
+func eventsFromFuzz(data []byte) []Event {
+	names := []string{"", "dct", "huff", "načti", `quo"te`, "a\nb", "\\esc"}
+	var events []Event
+	for len(data) >= 16 {
+		rec := data[:16]
+		data = data[16:]
+		start := int64(binary.LittleEndian.Uint32(rec[8:12]))
+		end := int64(binary.LittleEndian.Uint32(rec[12:16]))
+		ev := Event{
+			Kind:     Kind(rec[0] % 9),
+			Iter:     int(rec[1]),
+			Seq:      int(rec[2]),
+			Tile:     int(rec[3]%12) - 1,
+			Port:     int(rec[4]%4) - 1,
+			ISP:      int(rec[5]%4) - 1,
+			Start:    model.Time(start),
+			End:      model.Time(end),
+			Prefetch: rec[6]&1 != 0,
+			Ideal:    model.Dur(int64(rec[6] >> 1)),
+			Overhead: model.Dur(int64(rec[7] & 0x0f)),
+			WallUS:   int64(rec[7] >> 4),
+			Task:     names[int(rec[1])%len(names)],
+			Subtask:  names[int(rec[2])%len(names)],
+			Config:   names[int(rec[3])%len(names)],
+			Detail:   names[int(rec[4])%len(names)],
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func FuzzChromeTrace(f *testing.F) {
+	rec := func(kind, iter, seq, tile, port, isp, flags, acct byte, start, end uint32) []byte {
+		b := []byte{kind, iter, seq, tile, port, isp, flags, acct, 0, 0, 0, 0, 0, 0, 0, 0}
+		binary.LittleEndian.PutUint32(b[8:12], start)
+		binary.LittleEndian.PutUint32(b[12:16], end)
+		return b
+	}
+	// One seed per kind, plus the edge shapes.
+	f.Add([]byte{})
+	f.Add(rec(byte(KindLoad), 0, 1, 3, 1, 0, 1, 2, 0, 4000))    // prefetch-hit load
+	f.Add(rec(byte(KindLoad), 0, 1, 3, 1, 0, 0, 2, 0, 4000))    // demand-miss load
+	f.Add(rec(byte(KindExec), 0, 1, 3, 0, 0, 0, 0, 4000, 9000)) // exec
+	f.Add(rec(byte(KindISPBusy), 0, 1, 0, 0, 1, 0, 0, 0, 2500)) // isp
+	f.Add(rec(byte(KindQueue), 0, 2, 0, 0, 0, 0, 0, 0, 1500))   // queue wait
+	f.Add(rec(byte(KindRetire), 0, 1, 0, 0, 0, 8, 5, 0, 12000)) // retire with accounting
+	f.Add(rec(byte(KindPortStall), 0, 2, 0, 1, 0, 0, 0, 1500, 2000))
+	f.Add(rec(byte(KindVictim), 0, 0, 4, 0, 0, 0, 0, 12000, 12000))
+	f.Add(rec(byte(KindStage), 3, 0, 0, 0, 0, 0, 0xf0, 0, 0))
+	// Inverted interval (end < start) must clamp, not emit negative dur.
+	f.Add(rec(byte(KindExec), 0, 1, 3, 0, 0, 0, 0, 9000, 100))
+	// Load with no matching exec: flow must still balance.
+	f.Add(rec(byte(KindLoad), 0, 9, 2, 1, 0, 1, 0, 0, 777))
+	// Two records back to back: load feeding exec, flow linked.
+	f.Add(append(
+		rec(byte(KindLoad), 0, 1, 3, 1, 0, 1, 0, 0, 4000),
+		rec(byte(KindExec), 0, 1, 3, 0, 0, 0, 0, 4000, 9000)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := eventsFromFuzz(data)
+		var buf bytes.Buffer
+		if err := ChromeTrace(&buf, events, int64(len(data)%3)); err != nil {
+			t.Fatalf("ChromeTrace: %v", err)
+		}
+		if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+			t.Fatalf("exporter output fails the schema validator: %v\nevents: %+v\njson: %s",
+				err, events, buf.String())
+		}
+	})
+}

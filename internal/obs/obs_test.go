@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drhwsched/internal/model"
+)
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindLoad})
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.Len() != 0 || r.Drops() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder not empty")
+	}
+	r.Reset()
+}
+
+func TestRecorderBoundedDrops(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindExec, Seq: i})
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := r.Drops(); got != 2 {
+		t.Fatalf("Drops = %d, want 2", got)
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has Seq %d; ring must keep the oldest", i, ev.Seq)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Drops() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	r.Record(Event{})
+	if r.Len() != 1 {
+		t.Fatal("recorder unusable after Reset")
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if r.cap != DefaultCapacity {
+		t.Fatalf("cap = %d, want %d", r.cap, DefaultCapacity)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Kind: KindRetire, Ideal: 100, Overhead: 7, Start: 0, End: 107},
+		{Kind: KindRetire, Ideal: 50, Overhead: 3, Start: 107, End: 160},
+		{Kind: KindLoad, Tile: 0, Start: 0, End: 4, Prefetch: true},
+		{Kind: KindLoad, Tile: 1, Start: 10, End: 14, Prefetch: false},
+		{Kind: KindExec, Tile: 0, Start: 4, End: 24},
+		{Kind: KindISPBusy, ISP: 0, Start: 0, End: 9},
+		{Kind: KindVictim, Tile: 1, Start: 10, End: 10},
+		{Kind: KindStage, WallUS: 33, End: 99999}, // wall-clock; must not move End
+	}
+	s := Summarize(events)
+	if s.Instances != 2 || s.Loads != 2 || s.PrefetchHits != 1 || s.DemandMisses != 1 || s.Victims != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Ideal != 150 || s.Overhead != 10 {
+		t.Fatalf("accounting: ideal %d overhead %d", s.Ideal, s.Overhead)
+	}
+	if s.TileBusy[0] != 24 || s.TileBusy[1] != 4 {
+		t.Fatalf("tile busy: %v", s.TileBusy)
+	}
+	if s.ISPBusy[0] != 9 {
+		t.Fatalf("isp busy: %v", s.ISPBusy)
+	}
+	if s.End != 160 {
+		t.Fatalf("End = %d, want 160", s.End)
+	}
+}
+
+func TestChromeTraceValidates(t *testing.T) {
+	events := []Event{
+		{Kind: KindLoad, Seq: 1, Task: "jpeg", Subtask: "dct", Config: "cfg-dct", Tile: 2, Port: 0, Start: 0, End: 4000, Prefetch: true},
+		{Kind: KindExec, Seq: 1, Task: "jpeg", Subtask: "dct", Config: "cfg-dct", Tile: 2, Start: 4000, End: 9000},
+		{Kind: KindLoad, Seq: 1, Task: "jpeg", Subtask: "huff", Config: "cfg-huff", Tile: 3, Port: 0, Start: 4000, End: 8000, Prefetch: false},
+		{Kind: KindExec, Seq: 1, Task: "jpeg", Subtask: "huff", Config: "cfg-huff", Tile: 3, Start: 9000, End: 12000},
+		{Kind: KindISPBusy, Seq: 1, Task: "jpeg", Subtask: "quant", ISP: 0, Start: 0, End: 2500},
+		{Kind: KindQueue, Seq: 2, Task: "mpeg", Start: 0, End: 1500},
+		{Kind: KindRetire, Seq: 1, Task: "jpeg", Start: 0, End: 12000, Ideal: 9000, Overhead: 3000},
+		{Kind: KindPortStall, Seq: 2, Task: "mpeg", Port: 0, Start: 1500, End: 2000},
+		{Kind: KindVictim, Tile: 2, Config: "cfg-dct", Detail: "cfg-idct", Start: 12000, End: 12000},
+		{Kind: KindStage, Iter: 0, Detail: "iterate", WallUS: 120},
+	}
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, events, 5); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exporter output fails its own validator: %v\n%s", err, buf.String())
+	}
+	if st.Loads != 2 {
+		t.Fatalf("Loads = %d, want 2", st.Loads)
+	}
+	if st.PrefetchHits != 1 || st.DemandMisses != 1 {
+		t.Fatalf("attribution: %+v", st)
+	}
+	if st.Dropped != 5 {
+		t.Fatalf("Dropped = %d, want 5", st.Dropped)
+	}
+	// Tracks: tiles 2 and 3, port 0, isp 0, instances, kernel stages.
+	if st.Tracks != 6 {
+		t.Fatalf("Tracks = %d, want 6\n%s", st.Tracks, buf.String())
+	}
+	for _, want := range []string{
+		`"tile 2"`, `"tile 3"`, `"port 0"`, `"isp 0"`, `"instances"`,
+		`"prefetch-hit"`, `"demand-miss"`, `"load→exec"`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("trace missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 0 || st.Dropped != 0 {
+		t.Fatalf("empty trace stats: %+v", st)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":          `{"traceEvents":`,
+		"missing array":     `{"displayTimeUnit":"ms"}`,
+		"missing name":      `{"traceEvents":[{"ph":"X","ts":1,"pid":1,"tid":1}]}`,
+		"missing ph":        `{"traceEvents":[{"name":"a","ts":1,"pid":1,"tid":1}]}`,
+		"bad phase":         `{"traceEvents":[{"name":"a","ph":"Z","ts":1,"pid":1,"tid":1}]}`,
+		"negative ts":       `{"traceEvents":[{"name":"a","ph":"X","ts":-1,"pid":1,"tid":1}]}`,
+		"negative dur":      `{"traceEvents":[{"name":"a","ph":"X","ts":1,"dur":-2,"pid":1,"tid":1}]}`,
+		"float pid":         `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1.5,"tid":1}]}`,
+		"missing pid":       `{"traceEvents":[{"name":"a","ph":"X","ts":1,"tid":1}]}`,
+		"unmatched flow":    `{"traceEvents":[{"name":"a","ph":"s","ts":1,"pid":1,"tid":1,"id":7}]}`,
+		"no attribution":    `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1,"tid":1,"cat":"reconfig"}]}`,
+		"meta without name": `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1}]}`,
+		"bad drop count":    `{"traceEvents":[],"otherData":{"dropped_events":"many"}}`,
+	}
+	for label, doc := range cases {
+		if _, err := ValidateChromeTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: validator accepted %s", label, doc)
+		}
+	}
+}
+
+func TestEventWire(t *testing.T) {
+	ev := Event{
+		Kind: KindLoad, Iter: 3, Seq: 9, Task: "jpeg", Subtask: "dct",
+		Config: "cfg", Tile: 1, Port: 0, ISP: -1,
+		Start: model.Time(10), End: model.Time(14), Prefetch: true,
+	}
+	w := ev.Wire()
+	if w.Kind != "load" || w.StartUS != 10 || w.EndUS != 14 || !w.Prefetch || w.ISP != -1 {
+		t.Fatalf("wire: %+v", w)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindLoad.String() != "load" || KindISPBusy.String() != "isp-busy" {
+		t.Fatal("kind names changed")
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind")
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// W3C Trace Context (traceparent header) support. The coordinator
+// mints a trace for each sweep (or adopts one sent by the client),
+// every sub-sweep request to a replica becomes a child span of it,
+// and drhwload mints one trace per load run with a child span per
+// request — so one grep for the trace ID lines up coordinator,
+// replica, and client logs.
+
+// Header is the canonical traceparent header name (lower-case per
+// the W3C spec; Go's http.Header canonicalizes on set/get).
+const Header = "traceparent"
+
+// TraceParent is a parsed version-00 traceparent: a 16-byte trace ID
+// shared by every span in the request tree, an 8-byte span ID naming
+// this hop, and the sampled flag.
+type TraceParent struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// NewTrace mints a fresh trace with a random trace ID and span ID,
+// sampled flag set.
+func NewTrace() TraceParent {
+	var tp TraceParent
+	mustRand(tp.TraceID[:])
+	mustRand(tp.SpanID[:])
+	tp.Flags = 0x01
+	return tp
+}
+
+// Child keeps the trace ID and flags but mints a fresh span ID: the
+// identity of one outgoing request. Every dispatch — including a
+// retry of the same work — gets its own child, so span IDs are
+// exactly-once per request on the wire.
+func (tp TraceParent) Child() TraceParent {
+	c := tp
+	mustRand(c.SpanID[:])
+	return c
+}
+
+// String renders the version-00 header value,
+// "00-<trace-id>-<span-id>-<flags>".
+func (tp TraceParent) String() string {
+	return fmt.Sprintf("00-%s-%s-%02x",
+		hex.EncodeToString(tp.TraceID[:]),
+		hex.EncodeToString(tp.SpanID[:]),
+		tp.Flags)
+}
+
+// TraceIDString is the 32-hex-digit trace ID, the grep key across
+// services.
+func (tp TraceParent) TraceIDString() string {
+	return hex.EncodeToString(tp.TraceID[:])
+}
+
+// SpanIDString is the 16-hex-digit span ID of this hop.
+func (tp TraceParent) SpanIDString() string {
+	return hex.EncodeToString(tp.SpanID[:])
+}
+
+// ParseTraceParent parses a version-00 traceparent header value. The
+// W3C grammar: 2-hex version "-" 32-hex trace-id "-" 16-hex span-id
+// "-" 2-hex flags, lower-case hex, with all-zero trace and span IDs
+// invalid.
+func ParseTraceParent(s string) (TraceParent, error) {
+	var tp TraceParent
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 {
+		return tp, fmt.Errorf("traceparent %q: want 4 dash-separated fields, got %d", s, len(parts))
+	}
+	if parts[0] != "00" {
+		return tp, fmt.Errorf("traceparent %q: unsupported version %q", s, parts[0])
+	}
+	if err := hexField(tp.TraceID[:], parts[1], "trace-id"); err != nil {
+		return tp, fmt.Errorf("traceparent %q: %v", s, err)
+	}
+	if err := hexField(tp.SpanID[:], parts[2], "span-id"); err != nil {
+		return tp, fmt.Errorf("traceparent %q: %v", s, err)
+	}
+	var flags [1]byte
+	if err := hexField(flags[:], parts[3], "flags"); err != nil {
+		return tp, fmt.Errorf("traceparent %q: %v", s, err)
+	}
+	tp.Flags = flags[0]
+	if allZero(tp.TraceID[:]) {
+		return tp, fmt.Errorf("traceparent %q: all-zero trace-id", s)
+	}
+	if allZero(tp.SpanID[:]) {
+		return tp, fmt.Errorf("traceparent %q: all-zero span-id", s)
+	}
+	return tp, nil
+}
+
+func hexField(dst []byte, s, name string) error {
+	if len(s) != 2*len(dst) {
+		return fmt.Errorf("%s: want %d hex digits, got %d", name, 2*len(dst), len(s))
+	}
+	if strings.ToLower(s) != s {
+		return fmt.Errorf("%s: upper-case hex", name)
+	}
+	if _, err := hex.Decode(dst, []byte(s)); err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	return nil
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func mustRand(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; if it
+		// does, trace IDs are the least of the process's problems.
+		panic(fmt.Sprintf("obs: crypto/rand: %v", err))
+	}
+}

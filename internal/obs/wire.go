@@ -1,0 +1,46 @@
+package obs
+
+// EventWire is the JSON form of an Event on the NDJSON stream
+// (`/v1/simulate?trace=events`). Simulated times are integer
+// microseconds, matching model.Time; -1 in tile/port/isp means "not
+// involved".
+type EventWire struct {
+	Kind       string `json:"kind"`
+	Iter       int    `json:"iter"`
+	Seq        int    `json:"seq"`
+	Task       string `json:"task,omitempty"`
+	Subtask    string `json:"subtask,omitempty"`
+	Config     string `json:"config,omitempty"`
+	Tile       int    `json:"tile"`
+	Port       int    `json:"port"`
+	ISP        int    `json:"isp"`
+	StartUS    int64  `json:"start_us"`
+	EndUS      int64  `json:"end_us"`
+	Prefetch   bool   `json:"prefetch,omitempty"`
+	IdealUS    int64  `json:"ideal_us,omitempty"`
+	OverheadUS int64  `json:"overhead_us,omitempty"`
+	WallUS     int64  `json:"wall_us,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// Wire converts an event to its NDJSON form.
+func (ev Event) Wire() EventWire {
+	return EventWire{
+		Kind:       ev.Kind.String(),
+		Iter:       ev.Iter,
+		Seq:        ev.Seq,
+		Task:       ev.Task,
+		Subtask:    ev.Subtask,
+		Config:     ev.Config,
+		Tile:       ev.Tile,
+		Port:       ev.Port,
+		ISP:        ev.ISP,
+		StartUS:    int64(ev.Start),
+		EndUS:      int64(ev.End),
+		Prefetch:   ev.Prefetch,
+		IdealUS:    int64(ev.Ideal),
+		OverheadUS: int64(ev.Overhead),
+		WallUS:     ev.WallUS,
+		Detail:     ev.Detail,
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"drhwsched/internal/core"
 	"drhwsched/internal/engine"
 	"drhwsched/internal/graph"
+	"drhwsched/internal/obs"
 	"drhwsched/internal/sim"
 	"drhwsched/internal/workload"
 )
@@ -202,6 +203,16 @@ type SimulateResponse struct {
 	ResponseP95MS   float64 `json:"response_p95_ms"`
 	ResponseP99MS   float64 `json:"response_p99_ms"`
 
+	// Run-time reconfiguration attribution and fabric pressure:
+	// prefetch hits are loads the schedule fully hid behind execution,
+	// demand misses are loads some subtask had to wait on; PeakQueued
+	// is the deepest admission queue any iteration reached, and
+	// ISPBusyMS the accumulated software-processor busy time.
+	PrefetchHits int       `json:"prefetch_hits"`
+	DemandMisses int       `json:"demand_misses"`
+	PeakQueued   int       `json:"peak_queued"`
+	ISPBusyMS    []float64 `json:"isp_busy_ms,omitempty"`
+
 	// Per-run analysis-cache traffic (this request only) and the
 	// engine-wide snapshot.
 	CacheHits   int       `json:"cache_hits"`
@@ -210,7 +221,7 @@ type SimulateResponse struct {
 }
 
 func simulateResponse(name string, pstr string, res *sim.Result) SimulateResponse {
-	return SimulateResponse{
+	return withAttribution(SimulateResponse{
 		Name:            name,
 		Approach:        res.Approach.String(),
 		Platform:        pstr,
@@ -250,7 +261,19 @@ func simulateResponse(name string, pstr string, res *sim.Result) SimulateRespons
 		ResponseP99MS:   res.ResponseTime.P99,
 		CacheHits:       res.CacheHits,
 		CacheMisses:     res.CacheMisses,
+	}, res)
+}
+
+// withAttribution copies the attribution aggregates into the wire
+// response (split out so simulateResponse stays a flat literal).
+func withAttribution(resp SimulateResponse, res *sim.Result) SimulateResponse {
+	resp.PrefetchHits = res.PrefetchHits
+	resp.DemandMisses = res.DemandMisses
+	resp.PeakQueued = res.PeakQueued
+	for _, d := range res.ISPBusy {
+		resp.ISPBusyMS = append(resp.ISPBusyMS, d.Milliseconds())
 	}
+	return resp
 }
 
 // IterationWire is one NDJSON line of /v1/simulate?stream=iterations:
@@ -279,9 +302,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	if mode := r.URL.Query().Get("stream"); mode != "" {
-		if mode != "iterations" {
-			return badRequest("simulate: unknown stream mode %q (iterations)", mode)
+	stream, trace := r.URL.Query().Get("stream"), r.URL.Query().Get("trace")
+	if trace != "" && trace != "events" {
+		return badRequest("simulate: unknown trace mode %q (events)", trace)
+	}
+	if stream != "" && trace != "" {
+		return badRequest("simulate: stream=%s and trace=%s are mutually exclusive", stream, trace)
+	}
+	if trace == "events" {
+		return s.streamTrace(w, r, spec)
+	}
+	if stream != "" {
+		if stream != "iterations" {
+			return badRequest("simulate: unknown stream mode %q (iterations)", stream)
 		}
 		return s.streamSimulate(w, r, spec)
 	}
@@ -292,9 +325,79 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		}
 		return badRequest("%v", err)
 	}
+	s.observeRun(res, spec.Options.Trace)
 	resp := simulateResponse(spec.Name, spec.Platform.String(), res)
 	resp.Cache = cacheWire(s.eng.CacheStats())
 	return writeJSON(w, resp)
+}
+
+// observeRun folds one completed simulation (and its recorder's drop
+// count, when the run was traced) into the /metrics families.
+func (s *Server) observeRun(res *sim.Result, rec *obs.Recorder) {
+	s.metrics.observeSim(res)
+	if rec != nil {
+		s.metrics.observeTraceDrops(rec.Drops())
+	}
+}
+
+// TraceSummary terminates a /v1/simulate?trace=events stream: the full
+// aggregate plus the recorder's event and drop counts, flagged as the
+// final line. The preceding lines are the recorded events themselves,
+// one JSON object per line in recording order.
+type TraceSummary struct {
+	Done    bool  `json:"done"`
+	Events  int   `json:"events"`
+	Dropped int64 `json:"dropped"`
+	SimulateResponse
+}
+
+// streamTrace runs the simulation with event tracing on and streams
+// the recorded fabric/kernel events as NDJSON, then the aggregate as a
+// trailer line. The document's own trace block (sim.trace) sizes the
+// recorder; absent, a default-capacity recorder is used.
+func (s *Server) streamTrace(w http.ResponseWriter, r *http.Request, spec *workload.RunSpec) error {
+	opt := spec.Options
+	if opt.Trace == nil {
+		opt.Trace = obs.NewRecorder(0)
+	}
+	rec := opt.Trace
+	// Reject anything the kernel would refuse (including tracing with
+	// sharded parallelism) before committing the 200.
+	if err := sim.Validate(spec.Mix, spec.Platform, opt); err != nil {
+		return badRequest("%v", err)
+	}
+	res, err := s.eng.SimulateContext(r.Context(), spec.Mix, spec.Platform, opt)
+	if err != nil {
+		if ctxErr := r.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return badRequest("%v", err)
+	}
+	s.observeRun(res, rec)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	events := rec.Events()
+	for i := range events {
+		if err := enc.Encode(events[i].Wire()); err != nil {
+			return fmt.Errorf("simulate trace: writing event: %w", err)
+		}
+	}
+	sum := TraceSummary{
+		Done:             true,
+		Events:           len(events),
+		Dropped:          rec.Drops(),
+		SimulateResponse: simulateResponse(spec.Name, spec.Platform.String(), res),
+	}
+	sum.Cache = cacheWire(s.eng.CacheStats())
+	if err := enc.Encode(sum); err != nil {
+		return fmt.Errorf("simulate trace: writing summary: %w", err)
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
 }
 
 // streamSimulate runs the simulation with an observer that emits one
@@ -343,6 +446,7 @@ func (s *Server) streamSimulate(w http.ResponseWriter, r *http.Request, spec *wo
 		// tells the client (instrument logs the late error).
 		return fmt.Errorf("simulate stream: %w", err)
 	}
+	s.observeRun(res, opt.Trace)
 	if writeErr != nil {
 		return fmt.Errorf("simulate stream: writing iteration: %w", writeErr)
 	}
@@ -445,6 +549,10 @@ func (s *Server) sweepGrid(req *SweepRequest) ([]engine.Run, error) {
 			}
 			o := opt
 			o.Approach = ap
+			// Cells run concurrently; a single recorder shared across
+			// them would interleave unrelated timelines (and the kernel
+			// refuses tracing off the sequential path anyway).
+			o.Trace = nil
 			// Cells run concurrently, so each needs its own policy
 			// value: a stateful policy (random's *rand.Rand) shared
 			// across workers would race.
@@ -490,6 +598,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 			failed++
 			cell.Error = rr.Err.Error()
 		} else {
+			s.metrics.observeSim(rr.Result)
 			cell.OverheadPct = rr.Result.OverheadPct
 			cell.IdealMS = rr.Result.IdealTotal.Milliseconds()
 			cell.ActualMS = rr.Result.ActualTotal.Milliseconds()

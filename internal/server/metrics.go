@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"drhwsched/internal/engine"
+	"drhwsched/internal/sim"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. Analyses
@@ -35,20 +36,35 @@ func (h *histogram) observe(seconds float64) {
 }
 
 // metrics aggregates per-endpoint request counts (by status code) and
-// latency histograms. All methods are safe for concurrent use.
+// latency histograms, plus the simulation-outcome counters every
+// completed run folds in (prefetch attribution, reconfigurations paid
+// vs avoided, queueing pressure, per-ISP utilization, trace drops).
+// All methods are safe for concurrent use.
 type metrics struct {
 	mu       sync.Mutex
+	now      func() time.Time // injectable clock (tests pin uptime)
 	started  time.Time
 	requests map[string]map[int]int64
 	latency  map[string]*histogram
+
+	prefetchHits    int64
+	demandMisses    int64
+	reconfigPaid    int64 // configurations actually loaded
+	reconfigAvoided int64 // loads skipped through reuse/prefetch planning
+	peakQueued      int64 // deepest admission queue any run observed
+	ispBusySeconds  map[int]float64
+	traceDropped    int64
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		started:  time.Now(),
-		requests: map[string]map[int]int64{},
-		latency:  map[string]*histogram{},
+	m := &metrics{
+		now:            time.Now,
+		requests:       map[string]map[int]int64{},
+		latency:        map[string]*histogram{},
+		ispBusySeconds: map[int]float64{},
 	}
+	m.started = m.now()
+	return m
 }
 
 func (m *metrics) observe(endpoint string, code int, d time.Duration) {
@@ -68,6 +84,31 @@ func (m *metrics) observe(endpoint string, code int, d time.Duration) {
 	h.observe(d.Seconds())
 }
 
+// observeSim folds one completed simulation into the run-outcome
+// families. SavedLoads counts the loads the approach skipped relative
+// to the no-reuse baseline — the reconfigurations avoided.
+func (m *metrics) observeSim(res *sim.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.prefetchHits += int64(res.PrefetchHits)
+	m.demandMisses += int64(res.DemandMisses)
+	m.reconfigPaid += int64(res.Loads)
+	m.reconfigAvoided += int64(res.SavedLoads)
+	if q := int64(res.PeakQueued); q > m.peakQueued {
+		m.peakQueued = q
+	}
+	for i, d := range res.ISPBusy {
+		m.ispBusySeconds[i] += d.Milliseconds() / 1000
+	}
+}
+
+// observeTraceDrops accumulates recorder overflow across traced runs.
+func (m *metrics) observeTraceDrops(n int64) {
+	m.mu.Lock()
+	m.traceDropped += n
+	m.mu.Unlock()
+}
+
 // render writes the Prometheus text format: request counters, latency
 // histograms, in-flight gauge, and the engine's cache counters. The
 // text is built under the lock into a buffer, then written, so a slow
@@ -77,7 +118,7 @@ func (m *metrics) render(w io.Writer, eng *engine.Engine, inflight int) {
 
 	m.mu.Lock()
 	fmt.Fprintf(&buf, "# TYPE drhwd_uptime_seconds gauge\n")
-	fmt.Fprintf(&buf, "drhwd_uptime_seconds %g\n", time.Since(m.started).Seconds())
+	fmt.Fprintf(&buf, "drhwd_uptime_seconds %g\n", m.now().Sub(m.started).Seconds())
 	fmt.Fprintf(&buf, "# TYPE drhwd_inflight_requests gauge\n")
 	fmt.Fprintf(&buf, "drhwd_inflight_requests %d\n", inflight)
 
@@ -112,6 +153,32 @@ func (m *metrics) render(w io.Writer, eng *engine.Engine, inflight int) {
 		fmt.Fprintf(&buf, "drhwd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
 		fmt.Fprintf(&buf, "drhwd_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
 	}
+
+	// Simulation-outcome families: the run-time reconfiguration story
+	// of every simulation this replica has completed.
+	fmt.Fprintf(&buf, "# TYPE drhwd_sim_prefetch_hits_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_sim_prefetch_hits_total %d\n", m.prefetchHits)
+	fmt.Fprintf(&buf, "# TYPE drhwd_sim_demand_misses_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_sim_demand_misses_total %d\n", m.demandMisses)
+	fmt.Fprintf(&buf, "# TYPE drhwd_sim_reconfig_paid_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_sim_reconfig_paid_total %d\n", m.reconfigPaid)
+	fmt.Fprintf(&buf, "# TYPE drhwd_sim_reconfig_avoided_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_sim_reconfig_avoided_total %d\n", m.reconfigAvoided)
+	fmt.Fprintf(&buf, "# TYPE drhwd_sim_peak_queued_instances gauge\n")
+	fmt.Fprintf(&buf, "drhwd_sim_peak_queued_instances %d\n", m.peakQueued)
+	if len(m.ispBusySeconds) > 0 {
+		isps := make([]int, 0, len(m.ispBusySeconds))
+		for i := range m.ispBusySeconds {
+			isps = append(isps, i)
+		}
+		sort.Ints(isps)
+		fmt.Fprintf(&buf, "# TYPE drhwd_sim_isp_busy_seconds_total counter\n")
+		for _, i := range isps {
+			fmt.Fprintf(&buf, "drhwd_sim_isp_busy_seconds_total{isp=\"%d\"} %g\n", i, m.ispBusySeconds[i])
+		}
+	}
+	fmt.Fprintf(&buf, "# TYPE drhwd_trace_dropped_events_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_trace_dropped_events_total %d\n", m.traceDropped)
 	m.mu.Unlock()
 
 	st := eng.CacheStats()

@@ -43,12 +43,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"drhwsched/internal/engine"
+	"drhwsched/internal/obs"
 )
 
 // Config sizes the service. The zero value is fully usable.
@@ -82,8 +85,12 @@ type Config struct {
 	// can verify which replica they reached and whether shard-cache
 	// affinity is holding. Empty means a random "drhwd-xxxxxxxx".
 	ReplicaID string
-	// Logf receives lifecycle log lines (nil: silent).
+	// Logf receives lifecycle log lines (nil: silent). The "listening
+	// on HOST:PORT" line is a stable contract scripts grep for.
 	Logf func(format string, args ...any)
+	// Logger receives structured per-request records (endpoint, status,
+	// duration, request ID, trace/span IDs). Nil means no request log.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -121,6 +128,7 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *metrics
 	inflight chan struct{}
+	reqSeq   atomic.Int64
 }
 
 // New builds a server from cfg.
@@ -235,15 +243,21 @@ func tooLarge(format string, args ...any) error {
 
 // statusWriter records the status code (and whether the header went
 // out) for metrics and late-error suppression, passing Flush through
-// for streaming responses.
+// for streaming responses. The before hook, when set, runs exactly
+// once immediately ahead of the first header write — the last moment
+// trailers-by-another-name like Server-Timing can still be set.
 type statusWriter struct {
 	http.ResponseWriter
-	code  int
-	wrote bool
+	code   int
+	wrote  bool
+	before func()
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if !w.wrote {
+		if w.before != nil {
+			w.before()
+		}
 		w.code = code
 		w.wrote = true
 	}
@@ -251,7 +265,12 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
-	w.wrote = true
+	if !w.wrote {
+		if w.before != nil {
+			w.before()
+		}
+		w.wrote = true
+	}
 	return w.ResponseWriter.Write(b)
 }
 
@@ -261,15 +280,54 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// ctxKey scopes the request-trace context value to this package.
+type ctxKey int
+
+const traceCtxKey ctxKey = iota
+
+// traceFrom recovers the request's trace context inside a handler.
+func traceFrom(ctx context.Context) obs.TraceParent {
+	tp, _ := ctx.Value(traceCtxKey).(obs.TraceParent)
+	return tp
+}
+
 // instrument is the middleware stack shared by every route: method
-// check, admission control (slot pool + body bound), per-request
-// deadline, error mapping, and metrics recording.
+// check, trace-context extraction (a W3C traceparent is accepted from
+// the client or minted here, then echoed so the caller can correlate),
+// admission control (slot pool + body bound), per-request deadline,
+// error mapping, structured request logging, and metrics recording.
+// Server-Timing carries the server-side elapsed time out on the first
+// write, so clients can split their observed latency into server time
+// vs network/queueing.
 func (s *Server) instrument(endpoint, method string, admit bool, h func(http.ResponseWriter, *http.Request) error) http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tp, tpErr := obs.ParseTraceParent(r.Header.Get(obs.Header))
+		if tpErr != nil {
+			tp = obs.NewTrace()
+		}
+		reqID := fmt.Sprintf("%s-%d", s.cfg.ReplicaID, s.reqSeq.Add(1))
 		w := &statusWriter{ResponseWriter: rw, code: http.StatusOK}
+		w.before = func() {
+			w.Header().Set("Server-Timing",
+				fmt.Sprintf("app;dur=%.3f", float64(time.Since(start).Microseconds())/1000))
+		}
+		w.Header().Set(obs.Header, tp.String())
+		w.Header().Set("X-Request-Id", reqID)
+		r = r.WithContext(context.WithValue(r.Context(), traceCtxKey, tp))
 		defer func() {
-			s.metrics.observe(endpoint, w.code, time.Since(start))
+			d := time.Since(start)
+			s.metrics.observe(endpoint, w.code, d)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+					slog.String("endpoint", endpoint),
+					slog.Int("code", w.code),
+					slog.Duration("duration", d),
+					slog.String("request_id", reqID),
+					slog.String("trace_id", tp.TraceIDString()),
+					slog.String("span_id", tp.SpanIDString()),
+				)
+			}
 		}()
 
 		if r.Method != method {
@@ -342,6 +400,10 @@ type HealthResponse struct {
 	Replica string    `json:"replica"`
 	Workers int       `json:"workers"`
 	Cache   CacheWire `json:"cache"`
+	// TraceID echoes the request's W3C trace context (accepted from
+	// the caller or minted here), so a coordinator health fan-out can
+	// stitch its replica probes into one trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
@@ -350,6 +412,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		Replica: s.cfg.ReplicaID,
 		Workers: s.eng.Workers(),
 		Cache:   cacheWire(s.eng.CacheStats()),
+		TraceID: traceFrom(r.Context()).TraceIDString(),
 	})
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"drhwsched/internal/platform"
@@ -25,7 +26,7 @@ func TestBernoulliArrivalsMatchDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *def != *exp {
+	if !reflect.DeepEqual(def, exp) {
 		t.Fatalf("explicit Bernoulli diverged from the default path:\n%+v\n%+v", def, exp)
 	}
 }
@@ -45,7 +46,7 @@ func TestOnOffArrivalsAreBurstyAndDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *r1 != *r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatal("on-off arrivals not deterministic under a fixed seed")
 	}
 	// Bursty: both full-load iterations (on state, POn=1 ⇒ both tasks)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"drhwsched/internal/graph"
@@ -99,7 +100,7 @@ func TestDeadlineModeDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *r1 != *r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatal("deadline mode not deterministic")
 	}
 }

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"drhwsched/internal/assign"
 	"drhwsched/internal/core"
 	"drhwsched/internal/fabric"
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
+	"drhwsched/internal/obs"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/prefetch"
 	"drhwsched/internal/reconfig"
@@ -82,6 +84,14 @@ type kernel struct {
 	rtQ tailEstimator // per-instance response-time tail (ms)
 
 	maxInFlight int
+	peakQueued  int
+	ispBusy     []model.Dur // per-ISP accumulated busy time
+
+	// rec is the observability seam: nil on every untraced run (the
+	// hot path pays one pointer check), the Options.Trace recorder
+	// otherwise. curIter tags emitted events with the iteration.
+	rec     *obs.Recorder
+	curIter int
 
 	sc scratch
 }
@@ -126,6 +136,11 @@ type scratch struct {
 	mapSc  reconfig.MapScratch
 	pfSc   prefetch.Scratch
 	coreSc core.ExecScratch
+
+	// initWindows snapshots the hybrid initialization-phase loads of
+	// the current instance for event emission; filled only when
+	// tracing is on.
+	initWindows []core.LoadWindow
 
 	// tl is the current instance's timeline; endOfFn reads it so the
 	// replacement state commit needs no per-instance closure.
@@ -188,6 +203,12 @@ func Validate(mix []TaskMix, p platform.Platform, opt Options) error {
 	workers, err := opt.shardWorkers(modeName)
 	if err != nil {
 		return err
+	}
+	if opt.Trace != nil && opt.Parallelism != 0 {
+		// Sharded chunks are independent replications on private cold
+		// fabrics; their per-chunk clocks all start at zero, so the
+		// event streams cannot interleave into one run timeline.
+		return fmt.Errorf("sim: tracing (Options.Trace) requires the sequential path: set Parallelism 0, not %d", opt.Parallelism)
 	}
 	arrivals := opt.Arrivals
 	if arrivals == nil {
@@ -259,10 +280,22 @@ func newKernel(mix []TaskMix, p platform.Platform, opt Options) (*kernel, error)
 	k.useReuse = opt.Approach == RunTime || opt.Approach == RunTimeInterTask || opt.Approach == Hybrid
 	k.interTask = opt.Approach == RunTimeInterTask ||
 		(opt.Approach == Hybrid && !opt.DisableInterTask)
+	k.rec = opt.Trace
+	k.ispBusy = make([]model.Dur, p.ISPs)
 	k.bindScratch()
 
+	var prep0 time.Time
+	if k.rec != nil {
+		prep0 = time.Now()
+	}
 	if err := k.prepare(analyze); err != nil {
 		return nil, err
+	}
+	if k.rec != nil {
+		k.rec.Record(obs.Event{
+			Kind: obs.KindStage, Iter: -1, Tile: -1, Port: -1, ISP: -1,
+			Detail: "prepare", WallUS: time.Since(prep0).Microseconds(),
+		})
 	}
 
 	k.fab = fabric.New(p, policy)
@@ -402,13 +435,27 @@ func (k *kernel) run() (*Result, error) {
 // returns the iteration's record. It is the body shared by the
 // sequential loop and the sharded executor.
 func (k *kernel) iterate(iter int, todo []int) (IterationRecord, error) {
+	k.curIter = iter
+
 	// Stage 2: select one prepared artifact per arrival.
+	var stage0 time.Time
+	if k.rec != nil {
+		stage0 = time.Now()
+	}
 	instances, miss, err := k.selectInstances(todo)
 	if err != nil {
 		return IterationRecord{}, err
 	}
 	if miss {
 		k.res.DeadlineMisses++
+	}
+	if k.rec != nil {
+		k.rec.Record(obs.Event{
+			Kind: obs.KindStage, Iter: iter, Tile: -1, Port: -1, ISP: -1,
+			Start: k.clock, End: k.clock,
+			Detail: "select", WallUS: time.Since(stage0).Microseconds(),
+		})
+		stage0 = time.Now()
 	}
 
 	// Stage 3: event-driven execution over the fabric.
@@ -421,6 +468,13 @@ func (k *kernel) iterate(iter int, todo []int) (IterationRecord, error) {
 	}
 	if peak > k.maxInFlight {
 		k.maxInFlight = peak
+	}
+	if k.rec != nil {
+		k.rec.Record(obs.Event{
+			Kind: obs.KindStage, Iter: iter, Tile: -1, Port: -1, ISP: -1,
+			Start: clock0, End: k.clock,
+			Detail: "execute", WallUS: time.Since(stage0).Microseconds(),
+		})
 	}
 
 	// Stage 4: per-iteration accounting.
@@ -529,6 +583,28 @@ func (k *kernel) executeIteration(instances []*prepared) (int, error) {
 			if len(flights) > peak {
 				peak = len(flights)
 			}
+			if k.rec != nil {
+				seq := k.res.Instances - 1 // runInstance just accounted it
+				name := pr.sched.G.Name
+				if now > arrival {
+					k.rec.Record(obs.Event{
+						Kind: obs.KindQueue, Iter: k.curIter, Seq: seq, Task: name,
+						Tile: -1, Port: -1, ISP: -1, Start: arrival, End: now,
+					})
+				}
+				k.rec.Record(obs.Event{
+					Kind: obs.KindAdmit, Iter: k.curIter, Seq: seq, Task: name,
+					Tile: -1, Port: -1, ISP: -1, Start: now, End: now,
+				})
+				k.rec.Record(obs.Event{
+					Kind: obs.KindRetire, Iter: k.curIter, Seq: seq, Task: name,
+					Tile: -1, Port: -1, ISP: -1, Start: now, End: end,
+					Ideal: k.sc.inst.ideal, Overhead: k.sc.inst.overhead,
+				})
+			}
+		}
+		if queued := len(instances) - qi; queued > k.peakQueued {
+			k.peakQueued = queued
 		}
 		if len(flights) == 0 {
 			// The queue head cannot be admitted even on an idle fabric:
@@ -625,6 +701,14 @@ func (k *kernel) runInstance(pr *prepared, upcoming []*prepared, start model.Tim
 		tileFree[v] = f.ISPFree(v - s.Tiles)
 	}
 
+	// Port availability before this instance runs: if the controller
+	// is still draining earlier work past our start, any loads we
+	// issue are contending for it (traced as a port stall).
+	var portBusyUntil model.Time
+	if k.rec != nil {
+		portBusyUntil = f.MinPortFree()
+	}
+
 	inst, err := k.execute(pr, bounds{
 		taskStart: start,
 		loadFloor: loadFloor,
@@ -646,6 +730,14 @@ func (k *kernel) runInstance(pr *prepared, upcoming []*prepared, start model.Tim
 	res.Cancelled += inst.cancelled
 	res.LoadEnergy += float64(inst.loads) * k.p.LoadEnergy
 	res.SavedLoads += pr.hw - inst.loads
+	res.PrefetchHits += inst.prefetchHits
+	res.DemandMisses += inst.demandMisses
+
+	// Emit the instance's fabric events before the state commit below
+	// overwrites the residency the victim attribution reads.
+	if k.rec != nil {
+		k.traceInstance(pr, mapping, start, portBusyUntil)
+	}
 
 	// Advance the shared fabric state. The commit is eager — at
 	// admission, not retirement — which is exact because concurrent
@@ -706,6 +798,18 @@ func (k *kernel) execute(pr *prepared, b bounds, resident map[graph.SubtaskID]bo
 			if w.End > inst.tileLast[v] {
 				inst.tileLast[v] = w.End
 			}
+			// Initialization-phase loads are prefetches by design; one
+			// the execution still had to wait for is a demand miss.
+			if r.Timeline.ExecStart[w.Subtask] > w.End {
+				inst.prefetchHits++
+			} else {
+				inst.demandMisses++
+			}
+		}
+		k.countInstance(s, r.Timeline, inst)
+		sc.initWindows = sc.initWindows[:0]
+		if k.rec != nil {
+			sc.initWindows = append(sc.initWindows, r.InitWindows...)
 		}
 		sc.tl = r.Timeline
 		return inst, nil
@@ -751,10 +855,116 @@ func (k *kernel) execute(pr *prepared, b bounds, resident map[graph.SubtaskID]bo
 			loads:    len(r.PortOrder),
 		}
 		inst.tileLast = sc.tileLastFrom(s, r.Timeline)
+		k.countInstance(s, r.Timeline, inst)
+		sc.initWindows = sc.initWindows[:0]
 		sc.tl = r.Timeline
 		return inst, nil
 	}
 	return nil, fmt.Errorf("sim: unknown approach %v", k.opt.Approach)
+}
+
+// countInstance attributes the instance's timeline loads (prefetch
+// hit vs demand miss) and accumulates per-ISP busy time. It runs on
+// every path, traced or not — pure integer arithmetic over the
+// timeline, no allocations — so the /metrics families exist without
+// tracing. Hybrid initialization loads are attributed by the caller
+// from the init windows (they are not on the timeline).
+func (k *kernel) countInstance(s *assign.Schedule, tl *schedule.Timeline, inst *instance) {
+	for i := 0; i < s.G.Len(); i++ {
+		id := graph.SubtaskID(i)
+		v := s.Assignment[id]
+		if v >= s.Tiles {
+			k.ispBusy[v-s.Tiles] += tl.ExecEnd[id].Sub(tl.ExecStart[id])
+			continue
+		}
+		if tl.LoadStart[id] != schedule.NoEvent {
+			if tl.ExecStart[id] > tl.LoadEnd[id] {
+				inst.prefetchHits++
+			} else {
+				inst.demandMisses++
+			}
+		}
+	}
+}
+
+// traceInstance emits the admitted instance's fabric events: body
+// loads with prefetch attribution and replacement-victim picks (read
+// against the pre-commit residency), per-tile executions, per-ISP
+// busy intervals, hybrid initialization loads, and the port stall if
+// the controller was still draining at task start. Only called when
+// tracing is on.
+func (k *kernel) traceInstance(pr *prepared, mapping reconfig.Mapping, start, portBusyUntil model.Time) {
+	sc := &k.sc
+	s := pr.sched
+	tl := sc.tl
+	seq := k.res.Instances - 1
+	name := s.G.Name
+	state := k.fab.State()
+	for v := 0; v < s.Tiles; v++ {
+		phys := mapping.PhysOf[v]
+		prev := state.Configs[phys]
+		for _, id := range s.TileOrder[v] {
+			sub := s.G.Subtask(id)
+			if tl.LoadStart[id] != schedule.NoEvent {
+				if prev != "" && prev != sub.Config {
+					k.rec.Record(obs.Event{
+						Kind: obs.KindVictim, Iter: k.curIter, Seq: seq, Task: name,
+						Subtask: sub.Name, Config: string(prev), Detail: string(sub.Config),
+						Tile: phys, Port: -1, ISP: -1,
+						Start: tl.LoadStart[id], End: tl.LoadStart[id],
+					})
+				}
+				prev = sub.Config
+				port := 0
+				if tl.LoadPort != nil {
+					port = tl.LoadPort[id]
+				}
+				k.rec.Record(obs.Event{
+					Kind: obs.KindLoad, Iter: k.curIter, Seq: seq, Task: name,
+					Subtask: sub.Name, Config: string(sub.Config),
+					Tile: phys, Port: port, ISP: -1,
+					Start: tl.LoadStart[id], End: tl.LoadEnd[id],
+					Prefetch: tl.ExecStart[id] > tl.LoadEnd[id],
+				})
+			}
+			k.rec.Record(obs.Event{
+				Kind: obs.KindExec, Iter: k.curIter, Seq: seq, Task: name,
+				Subtask: sub.Name, Config: string(sub.Config),
+				Tile: phys, Port: -1, ISP: -1,
+				Start: tl.ExecStart[id], End: tl.ExecEnd[id],
+			})
+		}
+	}
+	for v := s.Tiles; v < len(s.TileOrder); v++ {
+		for _, id := range s.TileOrder[v] {
+			sub := s.G.Subtask(id)
+			k.rec.Record(obs.Event{
+				Kind: obs.KindISPBusy, Iter: k.curIter, Seq: seq, Task: name,
+				Subtask: sub.Name, Tile: -1, Port: -1, ISP: v - s.Tiles,
+				Start: tl.ExecStart[id], End: tl.ExecEnd[id],
+			})
+		}
+	}
+	// Hybrid initialization loads live outside the body timeline; the
+	// hybrid core models a single controller, port 0.
+	for _, w := range sc.initWindows {
+		v := s.Assignment[w.Subtask]
+		sub := s.G.Subtask(w.Subtask)
+		k.rec.Record(obs.Event{
+			Kind: obs.KindLoad, Iter: k.curIter, Seq: seq, Task: name,
+			Subtask: sub.Name, Config: string(sub.Config), Detail: "init",
+			Tile: mapping.PhysOf[v], Port: 0, ISP: -1,
+			Start: w.Start, End: w.End,
+			Prefetch: tl.ExecStart[w.Subtask] > w.End,
+		})
+	}
+	if sc.inst.loads > 0 && portBusyUntil > start {
+		k.rec.Record(obs.Event{
+			Kind: obs.KindPortStall, Iter: k.curIter, Seq: seq, Task: name,
+			Tile: -1, Port: -1, ISP: -1,
+			Start: start, End: portBusyUntil,
+		})
+	}
 }
 
 // tileLastFrom finds each processor row's last activity (the end of its
@@ -814,6 +1024,8 @@ func (k *kernel) finish() *Result {
 	res.MultitaskMode = k.modeName
 	res.Partitions = k.partitions
 	res.MaxInFlight = k.maxInFlight
+	res.PeakQueued = k.peakQueued
+	res.ISPBusy = k.ispBusy
 	if k.shardWorkers > 0 {
 		res.Execution = "sharded"
 	} else {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"drhwsched/internal/fabric"
+	"drhwsched/internal/model"
 	"drhwsched/internal/reconfig"
 	"drhwsched/internal/stats"
 )
@@ -134,6 +135,12 @@ func (k *kernel) runSharded() (*Result, error) {
 		if sh.maxInFlight > k.maxInFlight {
 			k.maxInFlight = sh.maxInFlight
 		}
+		if sh.peakQueued > k.peakQueued {
+			k.peakQueued = sh.peakQueued
+		}
+		for i, d := range sh.ispBusy {
+			k.ispBusy[i] += d
+		}
 		for _, m := range [...]struct{ dst, src tailEstimator }{
 			{k.mkQ, sh.mkQ}, {k.ovQ, sh.ovQ}, {k.qdQ, sh.qdQ}, {k.rtQ, sh.rtQ},
 		} {
@@ -209,6 +216,7 @@ func (k *kernel) newShard() (*kernel, error) {
 		interTask:    k.interTask,
 		shardWorkers: k.shardWorkers,
 		rng:          rand.New(&splitmixSource{}),
+		ispBusy:      make([]model.Dur, k.p.ISPs),
 	}
 	policy := k.opt.Policy
 	if policy == nil {
@@ -264,4 +272,6 @@ func (r *Result) addChunk(p *Result) {
 	r.SchedCost += p.SchedCost
 	r.DeadlineMisses += p.DeadlineMisses
 	r.PointEnergy += p.PointEnergy
+	r.PrefetchHits += p.PrefetchHits
+	r.DemandMisses += p.DemandMisses
 }

@@ -43,6 +43,7 @@ import (
 	"drhwsched/internal/core"
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
+	"drhwsched/internal/obs"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/prefetch"
 	"drhwsched/internal/reconfig"
@@ -162,6 +163,19 @@ type Options struct {
 	// iteration, synchronously and in order. Observation never alters
 	// results.
 	Observer Observer
+	// Trace, when non-nil, records run-time fabric events (instance
+	// admission/queueing/retirement, reconfiguration loads with
+	// prefetch-hit vs demand-miss attribution, per-tile executions,
+	// per-ISP busy intervals, port stalls, replacement victims) and
+	// kernel stage timings into the recorder's bounded ring. Tracing
+	// never alters results — a traced run's aggregates are
+	// bit-identical to the untraced run — and a nil recorder costs
+	// one pointer check on the hot path (the allocation budgets pin
+	// this). Tracing requires the sequential path (Parallelism 0):
+	// sharded chunks replay on private cold fabrics whose clocks all
+	// start at zero, so their event streams cannot interleave into
+	// one meaningful timeline.
+	Trace *obs.Recorder
 	// DisableInterTask turns the inter-task optimization off for the
 	// Hybrid approach (ablation A2). RunTime/RunTimeInterTask are
 	// distinct approaches already.
@@ -245,6 +259,24 @@ type Result struct {
 	ReusePct   float64
 	LoadEnergy float64 // mJ spent reconfiguring
 	SavedLoads int     // loads avoided vs. loading everything
+
+	// PrefetchHits and DemandMisses attribute every performed load:
+	// a hit is a reconfiguration fully hidden behind computation (the
+	// execution started strictly after the load completed — the load
+	// cost the task nothing), a miss is a load the execution was
+	// waiting on (it started the instant the load finished).
+	// PrefetchHits + DemandMisses == Loads.
+	PrefetchHits int
+	DemandMisses int
+
+	// PeakQueued is the peak number of instances waiting for fabric
+	// admission behind the in-flight set (0 whenever every arrival
+	// was admitted immediately).
+	PeakQueued int
+
+	// ISPBusy is the total busy time of each instruction-set
+	// processor, indexed by ISP.
+	ISPBusy []model.Dur
 
 	// IterMakespan and IterOverhead summarize the per-iteration
 	// makespan and reconfiguration-overhead distributions (streaming
@@ -391,13 +423,15 @@ type bounds struct {
 
 // instance is the outcome of one task arrival.
 type instance struct {
-	ideal     model.Dur
-	overhead  model.Dur
-	end       model.Time
-	loads     int
-	initLoads int
-	cancelled int
-	tileLast  []model.Time // per virtual tile, last activity end
+	ideal        model.Dur
+	overhead     model.Dur
+	end          model.Time
+	loads        int
+	initLoads    int
+	cancelled    int
+	prefetchHits int          // loads hidden behind computation
+	demandMisses int          // loads the execution stalled on
+	tileLast     []model.Time // per virtual tile, last activity end
 }
 
 // drawScenario samples a scenario index under the mix's weights (which

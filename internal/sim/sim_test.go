@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"drhwsched/internal/graph"
@@ -114,7 +115,7 @@ func TestDeterministicUnderSeed(t *testing.T) {
 	mix := []TaskMix{{Task: pipeline("a", 4)}, {Task: pipeline("b", 3)}}
 	r1 := run(t, mix, 4, Options{Approach: Hybrid, Iterations: 40, Seed: 42})
 	r2 := run(t, mix, 4, Options{Approach: Hybrid, Iterations: 40, Seed: 42})
-	if *r1 != *r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("same seed, different results:\n%+v\n%+v", r1, r2)
 	}
 	r3 := run(t, mix, 4, Options{Approach: Hybrid, Iterations: 40, Seed: 43})

@@ -7,6 +7,7 @@ import (
 
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
+	"drhwsched/internal/obs"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/reconfig"
 	"drhwsched/internal/sim"
@@ -99,6 +100,25 @@ type SimDoc struct {
 	// stage; absent means serial (one instance owns the whole fabric
 	// at a time, the paper's model).
 	Multitask *MultitaskDoc `json:"multitask,omitempty"`
+	// Trace enables run-time event tracing (fabric events, kernel
+	// stage timings) into a bounded recorder the caller drains after
+	// the run; absent or disabled means no recorder (the hot path pays
+	// one pointer check). Tracing requires the sequential kernel path
+	// (parallelism 0) and never alters aggregates.
+	Trace *TraceDoc `json:"trace,omitempty"`
+}
+
+// TraceDoc is the optional event-tracing block inside "sim":
+//
+//	"trace": {"enabled": true}
+//	"trace": {"enabled": true, "capacity": 200000}
+//
+// Capacity bounds the recorder's event buffer (0: the obs package
+// default); once full, further events are dropped and counted, never
+// blocking the run.
+type TraceDoc struct {
+	Enabled  bool `json:"enabled"`
+	Capacity int  `json:"capacity,omitempty"`
 }
 
 // MultitaskDoc is the optional fabric admission block inside "sim":
@@ -450,6 +470,12 @@ func (sd *SimDoc) Resolve() (sim.Options, error) {
 	}
 	if opt.Multitask, err = sd.Multitask.Resolve(); err != nil {
 		return opt, err
+	}
+	if sd.Trace != nil && sd.Trace.Enabled {
+		if sd.Trace.Capacity < 0 {
+			return opt, fmt.Errorf("workload: trace block: negative capacity %d", sd.Trace.Capacity)
+		}
+		opt.Trace = obs.NewRecorder(sd.Trace.Capacity)
 	}
 	return opt, nil
 }

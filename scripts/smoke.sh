@@ -12,6 +12,14 @@
 #      on cold engines that makes the per-cell cache counters, and so
 #      the whole payload, deterministic. drhwload is also pointed at
 #      both replicas via repeated -target flags.
+#   3. observability: a drhwsim run with -trace-out must produce a
+#      Chrome trace JSON that tracecheck validates with at least one
+#      reconfiguration event carrying prefetch attribution; a replica's
+#      /v1/simulate?trace=events stream must deliver load events and a
+#      summary; and a coordinator sweep driven under a fixed W3C
+#      traceparent must leave the same trace ID in the coordinator's
+#      and both replicas' logs. Trace artifacts land in
+#      SMOKE_ARTIFACT_DIR (default: the run's tmp dir) for CI upload.
 #
 # CI runs this; `make loadtest` runs it locally.
 set -eu
@@ -22,10 +30,12 @@ PIDS=""
 TMP="$(mktemp -d)"
 trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
 
-echo "smoke: building drhwd, drhwcoord and drhwload"
+echo "smoke: building drhwd, drhwcoord, drhwload, drhwsim and tracecheck"
 go build -o "$TMP/drhwd" ./cmd/drhwd
 go build -o "$TMP/drhwcoord" ./cmd/drhwcoord
 go build -o "$TMP/drhwload" ./cmd/drhwload
+go build -o "$TMP/drhwsim" ./cmd/drhwsim
+go build -o "$TMP/tracecheck" ./cmd/tracecheck
 
 # wait_addr LOGFILE PID: echo the HOST:PORT the daemon logged.
 wait_addr() {
@@ -134,6 +144,56 @@ echo "smoke: coordinator cell set identical to single node (5 cells)"
 # Coordinator healthz must see both replicas alive.
 curl -fsS "http://$COORD/healthz" | grep -q '"status": "ok"' \
     || { echo "smoke: coordinator healthz not ok"; exit 1; }
+
+# ---- leg 3: observability ------------------------------------------
+
+ART="${SMOKE_ARTIFACT_DIR:-$TMP}"
+mkdir -p "$ART"
+
+# A traced simulation must export a valid Chrome trace with at least
+# one reconfiguration event attributed as a prefetch hit.
+"$TMP/drhwsim" -iterations 50 -trace-out "$ART/smoke_trace.json" > /dev/null
+"$TMP/tracecheck" -min-loads 1 -require-prefetch "$ART/smoke_trace.json"
+echo "smoke: drhwsim Chrome trace validates with prefetch attribution"
+
+# The replica's event-trace stream: NDJSON events with load lines,
+# terminated by a done=true summary.
+cat > "$TMP/sim.json" <<'EOF2'
+{
+  "name": "pipe",
+  "platform": {"tiles": 4},
+  "sim": {"approach": "hybrid", "iterations": 20, "seed": 1},
+  "tasks": [{
+    "name": "pipe",
+    "scenarios": [{
+      "subtasks": [
+        {"name": "a", "exec_ms": 10},
+        {"name": "b", "exec_ms": 12},
+        {"name": "c", "exec_ms": 8}
+      ],
+      "edges": [{"from": 0, "to": 1}, {"from": 1, "to": 2}]
+    }]
+  }]
+}
+EOF2
+curl -fsS -X POST --data-binary @"$TMP/sim.json" \
+    "http://$R1/v1/simulate?trace=events" > "$ART/smoke_events.ndjson"
+grep -q '"done":true' "$ART/smoke_events.ndjson" \
+    || { echo "smoke: event trace stream cut short"; exit 1; }
+grep -q '"kind":"load"' "$ART/smoke_events.ndjson" \
+    || { echo "smoke: event trace stream has no load events"; exit 1; }
+echo "smoke: /v1/simulate?trace=events streams load events + summary"
+
+# One traceparent must span the coordinator and both replicas: drive a
+# sweep under a fixed trace ID and find it in all three logs.
+TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+curl -fsS -X POST -H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" \
+    --data-binary @"$TMP/sweep.json" "http://$COORD/v1/sweep" > /dev/null
+for log in coord r1 r2; do
+    grep -q "$TRACE_ID" "$TMP/$log.log" \
+        || { echo "smoke: trace ID missing from $log log"; cat "$TMP/$log.log"; exit 1; }
+done
+echo "smoke: one traceparent spans coordinator and both replicas"
 
 kill -TERM "$COORD_PID"
 wait "$COORD_PID" || { echo "smoke: drhwcoord exited non-zero on SIGTERM"; cat "$TMP/coord.log"; exit 1; }
