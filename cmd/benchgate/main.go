@@ -6,8 +6,9 @@
 //
 // allocs/op is gated tightly (deterministic per binary); ns/op only
 // between rows measured on hosts with the same CPU count, and
-// generously; and the BenchmarkSimRunParallel workers=1 vs workers=4
-// speedup is demanded only on hosts with at least -speedup-cpus CPUs.
+// generously; and every benchmark publishing a workers=1 vs workers=4
+// row pair (BenchmarkSimRunParallel, BenchmarkMultitaskRunParallel) has
+// its speedup demanded only on hosts with at least -speedup-cpus CPUs.
 // See internal/benchgate for the exact rules.
 package main
 

@@ -7,7 +7,7 @@
 //	        [-approach A] [-tiles N] [-isps N] [-iterations N] [-seed S]
 //	        [-policy P] [-schedcost] [-no-intertask] [-deadline MS]
 //	        [-arrivals A] [-trace file.json] [-trace-out file.json]
-//	        [-multitask M] [-partitions N] [-parallelism P]
+//	        [-multitask M] [-partitions N] [-lanes N] [-parallelism P]
 //
 // The accepted names for -approach, -policy, -arrivals and -multitask
 // come from the internal/workload registries (the exact sets the JSON
@@ -29,20 +29,23 @@
 // ownership (the paper's model, the default), fixed tile partitions
 // (-partitions, default 2), or greedy free-tile claims. Concurrent
 // modes report the peak in-flight count and per-instance queueing-delay
-// and response-time percentiles.
+// and response-time percentiles. -lanes (partition mode only) shards
+// the event loop itself: an admission round's instances run
+// concurrently on that many lane executors, with identical results for
+// every lane count >= 1.
 //
 // -trace-out records the run's fabric and kernel events and writes a
 // Chrome trace-event JSON file — load it in Perfetto or
 // chrome://tracing to see per-tile loads (prefetch hits vs demand
 // misses), executions, port stalls, evictions, and ISP activity on a
-// shared timeline. Event tracing needs the sequential reference path,
-// so -trace-out conflicts with -parallelism.
+// shared timeline. Event tracing needs the in-order sequential path,
+// so -trace-out conflicts with an explicit -parallelism or -lanes.
 //
 // -parallelism shards the iteration stream across P worker goroutines
 // with counter-derived per-iteration RNG streams; aggregates are
-// bit-identical for every P >= 1 (-1 uses one worker per CPU). Sharding
-// requires serial multitask admission. 0 (the default) keeps the
-// sequential reference path.
+// bit-identical for every P >= 1 (-1 uses one worker per CPU) under
+// every multitask admission mode. 0 (the default) keeps the sequential
+// reference path.
 package main
 
 import (
@@ -78,7 +81,8 @@ func main() {
 		traceFile   = flag.String("trace", "", "JSON arrival log for -arrivals trace (array of iterations, each an array of task indices)")
 		multitask   = flag.String("multitask", "serial", "fabric admission mode: "+workload.Usage(workload.MultitaskModes()))
 		partitions  = flag.Int("partitions", 0, "fixed tile-partition count for -multitask partition (0: 2)")
-		parallelism = flag.Int("parallelism", 0, "worker goroutines for sharded execution (0: sequential, -1: one per CPU; serial multitask only)")
+		lanes       = flag.Int("lanes", 0, "event-loop lane executors for -multitask partition (0: in-order)")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for sharded execution (0: sequential, -1: one per CPU)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (Perfetto-loadable; sequential path only)")
 	)
 	flag.Parse()
@@ -138,7 +142,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	mt, err := workload.ParseMultitask(*multitask, *partitions)
+	mt, err := workload.ParseMultitask(*multitask, *partitions, *lanes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "drhwsim: %v\n", err)
 		os.Exit(2)
@@ -236,7 +240,7 @@ func main() {
 	fmt.Printf("approach            %s\n", r.Approach)
 	fmt.Printf("iterations          %d (%d task instances, %d subtasks)\n", r.Iterations, r.Instances, r.Subtasks)
 	if r.Execution != "sequential" {
-		fmt.Printf("execution           %s\n", r.Execution)
+		fmt.Printf("execution           %s (%d workers)\n", r.Execution, r.Workers)
 	}
 	fmt.Printf("ideal time          %v\n", r.IdealTotal)
 	fmt.Printf("actual time         %v\n", r.ActualTotal)
@@ -249,10 +253,14 @@ func main() {
 		r.IterMakespan.P50, r.IterMakespan.P95, r.IterMakespan.P99)
 	fmt.Printf("iter overhead       p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
 		r.IterOverhead.P50, r.IterOverhead.P95, r.IterOverhead.P99)
-	if r.Partitions > 0 {
+	switch {
+	case r.Partitions > 0 && *lanes > 0:
+		fmt.Printf("multitask           %s (%d partitions, %d lanes), peak %d in flight\n",
+			r.MultitaskMode, r.Partitions, *lanes, r.MaxInFlight)
+	case r.Partitions > 0:
 		fmt.Printf("multitask           %s (%d partitions), peak %d in flight\n",
 			r.MultitaskMode, r.Partitions, r.MaxInFlight)
-	} else {
+	default:
 		fmt.Printf("multitask           %s, peak %d in flight\n", r.MultitaskMode, r.MaxInFlight)
 	}
 	fmt.Printf("queue delay         p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",

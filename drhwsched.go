@@ -306,16 +306,20 @@ const (
 )
 
 // AutoParallelism, assigned to SimOptions.Parallelism, shards the
-// iteration stream across one worker per CPU (serial multitask
-// admission only; other modes silently stay sequential). Any explicit
-// Parallelism >= 1 requests that exact worker count and is rejected
-// with ErrParallelMultitask under partition or greedy admission.
-// Sharded aggregates are bit-identical for every worker count.
+// iteration stream across one worker per CPU under every fabric
+// admission mode (serial, partition and greedy), quietly degrading to
+// the sequential path when sharding is impossible (tracing on, or an
+// arrival process without indexed draws). Sharded aggregates are
+// bit-identical for every worker count; the resolved count is recorded
+// in SimResult.Workers.
 const AutoParallelism = sim.AutoParallelism
 
 // ErrParallelMultitask is returned (wrapped) when an explicit
-// SimOptions.Parallelism >= 1 is combined with a fabric admission mode
-// other than serial; test with errors.Is.
+// per-partition lane count (Multitask.Lanes >= 1) is combined with
+// greedy admission, whose whole-fabric residency reads leave no
+// disjoint per-lane state to shard the event loop over; test with
+// errors.Is. Chunk sharding (SimOptions.Parallelism) works under every
+// admission mode.
 var ErrParallelMultitask = sim.ErrParallelMultitask
 
 // Simulate runs a dynamic application mix on the modelled platform.

@@ -17,19 +17,22 @@
 //     against a generous ratio (default 4x) meant to catch accidental
 //     complexity blow-ups, not percent-level drift.
 //
-// The gate also understands the sharded-execution benchmark: when the
+// The gate also understands the sharded-execution benchmarks: when the
 // current artifact was measured on a host with at least MinSpeedupCPUs
-// logical CPUs, the workers=4 row of BenchmarkSimRunParallel must beat
-// the workers=1 row by MinSpeedup. On smaller hosts (the 1-CPU
-// container this repository often builds in) the check is skipped —
-// there is no parallel speedup to measure without parallel hardware —
-// mirroring how BENCH_cluster.json records host_cpus next to its
-// scaling ratios.
+// logical CPUs, every benchmark that publishes both a workers=1 and a
+// workers=4 row (BenchmarkSimRunParallel, the partitions×workers grid
+// of BenchmarkMultitaskRunParallel, and any future fan-out benchmark)
+// must show the workers=4 row beating workers=1 by MinSpeedup. On
+// smaller hosts (the 1-CPU container this repository often builds in)
+// the check is skipped — there is no parallel speedup to measure
+// without parallel hardware — mirroring how BENCH_cluster.json records
+// host_cpus next to its scaling ratios.
 package benchgate
 
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -58,8 +61,8 @@ type Limits struct {
 	// when both rows carry the same non-zero HostCPUs.
 	NsRatio float64
 	// MinSpeedup is the required workers=1 / workers=4 ns/op ratio of
-	// ParallelBench, enforced only when the current artifact's rows
-	// report HostCPUs >= MinSpeedupCPUs.
+	// every benchmark carrying both rows, enforced only when the
+	// current artifact's rows report HostCPUs >= MinSpeedupCPUs.
 	MinSpeedup     float64
 	MinSpeedupCPUs int
 }
@@ -75,9 +78,13 @@ func DefaultLimits() Limits {
 	}
 }
 
-// ParallelBench is the benchmark whose workers=1 vs workers=4 rows feed
-// the speedup check.
-const ParallelBench = "BenchmarkSimRunParallel"
+// speedupRefSuffix/speedupSuffix name the row pair the speedup check
+// scans for: every benchmark key ending in workers=1 whose sibling
+// workers=4 row exists is held to Limits.MinSpeedup.
+const (
+	speedupRefSuffix = "/workers=1"
+	speedupSuffix    = "/workers=4"
+)
 
 // Parse decodes a bench.sh JSON artifact.
 func Parse(data []byte) ([]Record, error) {
@@ -143,27 +150,39 @@ func Check(current, baseline []Record, lim Limits) []string {
 			}
 		}
 	}
-	if v := speedupViolation(cur, lim); v != "" {
-		bad = append(bad, v)
-	}
+	bad = append(bad, speedupViolations(cur, lim)...)
 	return bad
 }
 
-func speedupViolation(cur map[string]Record, lim Limits) string {
+// speedupViolations scans the current artifact for every workers=1 /
+// workers=4 row pair and demands MinSpeedup of each, in sorted key
+// order so the report is deterministic.
+func speedupViolations(cur map[string]Record, lim Limits) []string {
 	if lim.MinSpeedup <= 0 {
-		return ""
+		return nil
 	}
-	one, ok1 := cur[ParallelBench+"/workers=1"]
-	four, ok4 := cur[ParallelBench+"/workers=4"]
-	if !ok1 || !ok4 || one.NsOp <= 0 || four.NsOp <= 0 {
-		return ""
+	keys := make([]string, 0, len(cur))
+	for key := range cur {
+		if strings.HasSuffix(key, speedupRefSuffix) {
+			keys = append(keys, key)
+		}
 	}
-	if one.HostCPUs < lim.MinSpeedupCPUs {
-		return "" // no parallel hardware, no speedup to demand
+	sort.Strings(keys)
+	var bad []string
+	for _, key := range keys {
+		bench := strings.TrimSuffix(key, speedupRefSuffix)
+		one := cur[key]
+		four, ok := cur[bench+speedupSuffix]
+		if !ok || one.NsOp <= 0 || four.NsOp <= 0 {
+			continue
+		}
+		if one.HostCPUs < lim.MinSpeedupCPUs {
+			continue // no parallel hardware, no speedup to demand
+		}
+		if speedup := one.NsOp / four.NsOp; speedup < lim.MinSpeedup {
+			bad = append(bad, fmt.Sprintf("%s: workers=4 speedup %.2fx below %.2fx on a %d-CPU host",
+				bench, speedup, lim.MinSpeedup, one.HostCPUs))
+		}
 	}
-	if speedup := one.NsOp / four.NsOp; speedup < lim.MinSpeedup {
-		return fmt.Sprintf("%s: workers=4 speedup %.2fx below %.2fx on a %d-CPU host",
-			ParallelBench, speedup, lim.MinSpeedup, one.HostCPUs)
-	}
-	return ""
+	return bad
 }

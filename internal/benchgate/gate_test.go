@@ -81,8 +81,8 @@ func TestCheckFlagsMissingBenchmark(t *testing.T) {
 func TestSpeedupGateConditionalOnHostCPUs(t *testing.T) {
 	mk := func(cpus int, nsOne, nsFour float64) []Record {
 		return []Record{
-			rec(ParallelBench+"/workers=1", nsOne, 700, cpus),
-			rec(ParallelBench+"/workers=4", nsFour, 780, cpus),
+			rec("BenchmarkSimRunParallel/workers=1", nsOne, 700, cpus),
+			rec("BenchmarkSimRunParallel/workers=4", nsFour, 780, cpus),
 		}
 	}
 	// 1-CPU host: no speedup demanded even at 1.0x.
@@ -97,6 +97,34 @@ func TestSpeedupGateConditionalOnHostCPUs(t *testing.T) {
 	// 4-CPU host, 2x: passes.
 	if bad := Check(mk(4, 6e6, 3e6), nil, DefaultLimits()); len(bad) != 0 {
 		t.Fatalf("2x speedup flagged: %v", bad)
+	}
+}
+
+// TestSpeedupGateScansAllWorkerPairs: the speedup check is not tied to
+// one benchmark name — every workers=1/workers=4 row pair in the
+// artifact is held to the floor, and violations come out in sorted
+// order.
+func TestSpeedupGateScansAllWorkerPairs(t *testing.T) {
+	cur := []Record{
+		rec("BenchmarkMultitaskRunParallel/partitions=2/workers=1", 4e6, 900, 8),
+		rec("BenchmarkMultitaskRunParallel/partitions=2/workers=4", 4e6, 950, 8), // 1.0x: flagged
+		rec("BenchmarkMultitaskRunParallel/partitions=4/workers=1", 4e6, 900, 8),
+		rec("BenchmarkMultitaskRunParallel/partitions=4/workers=4", 2e6, 950, 8), // 2.0x: fine
+		rec("BenchmarkSimRunParallel/workers=1", 3e6, 700, 8),
+		rec("BenchmarkSimRunParallel/workers=4", 3e6, 780, 8), // 1.0x: flagged
+	}
+	bad := Check(cur, nil, DefaultLimits())
+	if len(bad) != 2 {
+		t.Fatalf("want 2 speedup violations, got %v", bad)
+	}
+	if !strings.Contains(bad[0], "BenchmarkMultitaskRunParallel/partitions=2") ||
+		!strings.Contains(bad[1], "BenchmarkSimRunParallel") {
+		t.Fatalf("violations out of sorted order or misattributed: %v", bad)
+	}
+	// A workers=1 row with no workers=4 sibling is not a pair.
+	orphan := []Record{rec("BenchmarkLonely/workers=1", 4e6, 900, 8)}
+	if bad := Check(orphan, nil, DefaultLimits()); len(bad) != 0 {
+		t.Fatalf("orphan workers=1 row flagged: %v", bad)
 	}
 }
 

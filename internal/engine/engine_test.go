@@ -429,10 +429,16 @@ func TestShardedSharesAnalysisCache(t *testing.T) {
 		if r.Execution != "sharded" {
 			t.Fatalf("P=%d: execution = %q, want sharded", workers, r.Execution)
 		}
+		if r.Workers != workers {
+			t.Fatalf("P=%d: result records %d workers", workers, r.Workers)
+		}
 		if prev != nil {
 			a, b := *prev, *r
 			a.CacheHits, a.CacheMisses, a.CacheHitRate = 0, 0, 0
 			b.CacheHits, b.CacheMisses, b.CacheHitRate = 0, 0, 0
+			// Workers is the one field documented to vary with the
+			// worker count.
+			a.Workers, b.Workers = 0, 0
 			if !reflect.DeepEqual(a, b) {
 				t.Fatalf("sharded aggregates depend on the worker count:\nP=1 %+v\nP=4 %+v", a, b)
 			}

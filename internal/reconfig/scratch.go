@@ -98,8 +98,15 @@ func MapInto(s *assign.Schedule, st *State, opt MapOptions, sc *MapScratch) (Map
 
 	match := func(v int) bool {
 		cfg := s.G.Subtask(s.TileOrder[v][0]).Config
-		for t, c := range st.Configs {
-			if c != "" && c == cfg && !taken[t] {
+		// The taken filter comes first — before the element read, so a
+		// restricted Allowed set never reads residency outside the
+		// claim, like every other pass — which is what lets concurrent
+		// lane executors map onto disjoint claims of one shared State.
+		for t := range st.Configs {
+			if taken[t] {
+				continue
+			}
+			if c := st.Configs[t]; c != "" && c == cfg {
 				claim(v, t)
 				return true
 			}

@@ -194,8 +194,11 @@ type SimulateResponse struct {
 	Partitions    int    `json:"partitions,omitempty"`
 	MaxInFlight   int    `json:"max_in_flight"`
 	// Execution names the kernel path the run took: "sequential" or
-	// "sharded" (see the workload "sim.parallelism" field).
+	// "sharded" (see the workload "sim.parallelism" field); Workers is
+	// the worker count a sharded run fanned out to (absent when
+	// sequential).
 	Execution       string  `json:"execution"`
+	Workers         int     `json:"workers,omitempty"`
 	QueueDelayP50MS float64 `json:"queue_delay_p50_ms"`
 	QueueDelayP95MS float64 `json:"queue_delay_p95_ms"`
 	QueueDelayP99MS float64 `json:"queue_delay_p99_ms"`
@@ -253,6 +256,7 @@ func simulateResponse(name string, pstr string, res *sim.Result) SimulateRespons
 		Partitions:      res.Partitions,
 		MaxInFlight:     res.MaxInFlight,
 		Execution:       res.Execution,
+		Workers:         res.Workers,
 		QueueDelayP50MS: res.QueueDelay.P50,
 		QueueDelayP95MS: res.QueueDelay.P95,
 		QueueDelayP99MS: res.QueueDelay.P99,
@@ -325,7 +329,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		}
 		return badRequest("%v", err)
 	}
-	s.observeRun(res, spec.Options.Trace)
+	s.observeRun(res, spec.Options.Parallelism, spec.Options.Trace)
 	resp := simulateResponse(spec.Name, spec.Platform.String(), res)
 	resp.Cache = cacheWire(s.eng.CacheStats())
 	return writeJSON(w, resp)
@@ -333,8 +337,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 
 // observeRun folds one completed simulation (and its recorder's drop
 // count, when the run was traced) into the /metrics families.
-func (s *Server) observeRun(res *sim.Result, rec *obs.Recorder) {
-	s.metrics.observeSim(res)
+// requested is the document's sim.parallelism, which classifies a
+// sequential outcome as a deliberate choice or a fallback.
+func (s *Server) observeRun(res *sim.Result, requested int, rec *obs.Recorder) {
+	s.metrics.observeSim(res, requested)
 	if rec != nil {
 		s.metrics.observeTraceDrops(rec.Drops())
 	}
@@ -373,7 +379,7 @@ func (s *Server) streamTrace(w http.ResponseWriter, r *http.Request, spec *workl
 		}
 		return badRequest("%v", err)
 	}
-	s.observeRun(res, rec)
+	s.observeRun(res, opt.Parallelism, rec)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -446,7 +452,7 @@ func (s *Server) streamSimulate(w http.ResponseWriter, r *http.Request, spec *wo
 		// tells the client (instrument logs the late error).
 		return fmt.Errorf("simulate stream: %w", err)
 	}
-	s.observeRun(res, opt.Trace)
+	s.observeRun(res, opt.Parallelism, opt.Trace)
 	if writeErr != nil {
 		return fmt.Errorf("simulate stream: writing iteration: %w", writeErr)
 	}
@@ -598,7 +604,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 			failed++
 			cell.Error = rr.Err.Error()
 		} else {
-			s.metrics.observeSim(rr.Result)
+			s.metrics.observeSim(rr.Result, rr.Run.Options.Parallelism)
 			cell.OverheadPct = rr.Result.OverheadPct
 			cell.IdealMS = rr.Result.IdealTotal.Milliseconds()
 			cell.ActualMS = rr.Result.ActualTotal.Milliseconds()

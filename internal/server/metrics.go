@@ -47,6 +47,10 @@ type metrics struct {
 	requests map[string]map[int]int64
 	latency  map[string]*histogram
 
+	simSequential int64 // completed runs that took the sequential kernel path
+	simSharded    int64 // completed runs that took the chunk-sharded path
+	simFallbacks  int64 // runs that asked for parallelism but degraded to sequential
+
 	prefetchHits    int64
 	demandMisses    int64
 	reconfigPaid    int64 // configurations actually loaded
@@ -86,10 +90,22 @@ func (m *metrics) observe(endpoint string, code int, d time.Duration) {
 
 // observeSim folds one completed simulation into the run-outcome
 // families. SavedLoads counts the loads the approach skipped relative
-// to the no-reuse baseline — the reconfigurations avoided.
-func (m *metrics) observeSim(res *sim.Result) {
+// to the no-reuse baseline — the reconfigurations avoided. requested
+// is the run's Options.Parallelism: a run that asked for workers
+// (explicitly or via auto) but still executed sequentially counts as a
+// parallel fallback — the signal that tracing or a non-shardable
+// arrival process quietly pinned this replica to one core.
+func (m *metrics) observeSim(res *sim.Result, requested int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if res.Execution == "sharded" {
+		m.simSharded++
+	} else {
+		m.simSequential++
+		if requested != 0 {
+			m.simFallbacks++
+		}
+	}
 	m.prefetchHits += int64(res.PrefetchHits)
 	m.demandMisses += int64(res.DemandMisses)
 	m.reconfigPaid += int64(res.Loads)
@@ -155,7 +171,14 @@ func (m *metrics) render(w io.Writer, eng *engine.Engine, inflight int) {
 	}
 
 	// Simulation-outcome families: the run-time reconfiguration story
-	// of every simulation this replica has completed.
+	// of every simulation this replica has completed. Both execution
+	// labels always render (zeros included) so rate() queries never see
+	// a series appear mid-scrape.
+	fmt.Fprintf(&buf, "# TYPE drhwd_sim_runs_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_sim_runs_total{execution=\"sequential\"} %d\n", m.simSequential)
+	fmt.Fprintf(&buf, "drhwd_sim_runs_total{execution=\"sharded\"} %d\n", m.simSharded)
+	fmt.Fprintf(&buf, "# TYPE drhwd_sim_parallel_fallbacks_total counter\n")
+	fmt.Fprintf(&buf, "drhwd_sim_parallel_fallbacks_total %d\n", m.simFallbacks)
 	fmt.Fprintf(&buf, "# TYPE drhwd_sim_prefetch_hits_total counter\n")
 	fmt.Fprintf(&buf, "drhwd_sim_prefetch_hits_total %d\n", m.prefetchHits)
 	fmt.Fprintf(&buf, "# TYPE drhwd_sim_demand_misses_total counter\n")

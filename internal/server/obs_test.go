@@ -54,7 +54,11 @@ func TestMetricsGolden(t *testing.T) {
 	m.observeSim(&sim.Result{
 		PrefetchHits: 7, DemandMisses: 3, Loads: 10, SavedLoads: 4,
 		PeakQueued: 2, ISPBusy: []model.Dur{model.Dur(1500000)},
-	})
+	}, 0)
+	// One sharded run and one auto request that fell back to the
+	// sequential path pin the execution-split families.
+	m.observeSim(&sim.Result{Execution: "sharded", Workers: 2}, 2)
+	m.observeSim(&sim.Result{Execution: "sequential"}, sim.AutoParallelism)
 	m.observeTraceDrops(5)
 
 	var sb strings.Builder
@@ -100,6 +104,11 @@ drhwd_request_duration_seconds_bucket{endpoint="simulate",le="10"} 1
 drhwd_request_duration_seconds_bucket{endpoint="simulate",le="+Inf"} 1
 drhwd_request_duration_seconds_sum{endpoint="simulate"} 2.5
 drhwd_request_duration_seconds_count{endpoint="simulate"} 1
+# TYPE drhwd_sim_runs_total counter
+drhwd_sim_runs_total{execution="sequential"} 2
+drhwd_sim_runs_total{execution="sharded"} 1
+# TYPE drhwd_sim_parallel_fallbacks_total counter
+drhwd_sim_parallel_fallbacks_total 1
 # TYPE drhwd_sim_prefetch_hits_total counter
 drhwd_sim_prefetch_hits_total 7
 # TYPE drhwd_sim_demand_misses_total counter
@@ -156,6 +165,9 @@ func TestMetricsEndpointValidates(t *testing.T) {
 		t.Fatalf("live /metrics fails the strict validator: %v\n%s", err, body)
 	}
 	for _, want := range []string{
+		"drhwd_sim_runs_total{execution=\"sequential\"} ",
+		"drhwd_sim_runs_total{execution=\"sharded\"} ",
+		"drhwd_sim_parallel_fallbacks_total ",
 		"drhwd_sim_prefetch_hits_total ",
 		"drhwd_sim_demand_misses_total ",
 		"drhwd_sim_reconfig_paid_total ",

@@ -336,10 +336,11 @@ func TestSimulateMultitaskStreamReportsInFlight(t *testing.T) {
 }
 
 // TestSimulateParallelism: a workload that opts into sharded execution
-// via "sim.parallelism" reports "execution": "sharded" on the wire, and
-// fabric-partitioned admission combined with an explicit worker count is
-// rejected as a 400 on both the plain and streaming paths — the typed
-// sim error must not surface as a 500.
+// via "sim.parallelism" reports "execution": "sharded" and its worker
+// count on the wire — under serial and partition admission alike — and
+// the one still-unsupported combination (greedy admission with lane
+// executors) is a 400 on both the plain and streaming paths, never a
+// 500.
 func TestSimulateParallelism(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
@@ -354,6 +355,9 @@ func TestSimulateParallelism(t *testing.T) {
 	}
 	if sr.Execution != "sharded" {
 		t.Fatalf("execution = %q, want sharded", sr.Execution)
+	}
+	if sr.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", sr.Workers)
 	}
 	if sr.Instances <= 0 || sr.MakespanP50MS <= 0 {
 		t.Fatalf("sharded run reported empty aggregates: %+v", sr)
@@ -371,20 +375,55 @@ func TestSimulateParallelism(t *testing.T) {
 	if plain.Execution != "sequential" {
 		t.Fatalf("default execution = %q, want sequential", plain.Execution)
 	}
+	if plain.Workers != 0 {
+		t.Fatalf("sequential run reported %d workers", plain.Workers)
+	}
 
-	// Partition admission cannot shard: its correctness reference is the
-	// warm sequential fabric, so an explicit worker count is a 400.
-	bad := strings.Replace(multitaskDoc,
+	// Partition admission shards like every other mode now, on the
+	// plain and streaming paths alike.
+	multiSharded := strings.Replace(multitaskDoc,
 		`"multitask": {"mode": "partition", "partitions": 2}`,
 		`"multitask": {"mode": "partition", "partitions": 2}, "parallelism": 2`, 1)
 	for _, path := range []string{"/v1/simulate", "/v1/simulate?stream=iterations"} {
-		resp, body = post(t, ts.URL+path, bad)
+		resp, body = post(t, ts.URL+path, multiSharded)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s with partition+parallelism: status = %d, want 200: %s", path, resp.StatusCode, body)
+		}
+		// The plain endpoint indents its JSON; the stream does not.
+		if !strings.Contains(strings.ReplaceAll(body, " ", ""), `"execution":"sharded"`) {
+			t.Fatalf("%s with partition+parallelism did not report sharded execution: %s", path, body)
+		}
+	}
+
+	// Greedy admission keeps the typed lane rejection: its grants read
+	// whole-fabric residency, so the event loop cannot be laned.
+	greedyLanes := strings.Replace(multitaskDoc,
+		`"multitask": {"mode": "partition", "partitions": 2}`,
+		`"multitask": {"mode": "greedy", "lanes": 2}`, 1)
+	for _, path := range []string{"/v1/simulate", "/v1/simulate?stream=iterations"} {
+		resp, body = post(t, ts.URL+path, greedyLanes)
 		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("%s with partition+parallelism: status = %d, want 400: %s", path, resp.StatusCode, body)
+			t.Fatalf("%s with greedy+lanes: status = %d, want 400: %s", path, resp.StatusCode, body)
 		}
-		if !strings.Contains(body, "serial multitask admission") {
-			t.Fatalf("%s error does not name the admission constraint: %s", path, body)
+		if !strings.Contains(body, "greedy multitask admission cannot shard") {
+			t.Fatalf("%s error does not name the lane constraint: %s", path, body)
 		}
+	}
+
+	// Partition admission with lanes is the supported intra-run sharding.
+	laned := strings.Replace(multitaskDoc,
+		`"multitask": {"mode": "partition", "partitions": 2}`,
+		`"multitask": {"mode": "partition", "partitions": 2, "lanes": 2}`, 1)
+	resp, body = post(t, ts.URL+"/v1/simulate", laned)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("laned run: status = %d: %s", resp.StatusCode, body)
+	}
+	var lr SimulateResponse
+	if err := json.Unmarshal([]byte(body), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.MultitaskMode != "partition" || lr.MaxInFlight < 2 {
+		t.Fatalf("laned run aggregates look wrong: mode=%q maxInFlight=%d", lr.MultitaskMode, lr.MaxInFlight)
 	}
 }
 

@@ -95,3 +95,35 @@ func BenchmarkMultitaskRun(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMultitaskRunParallel measures chunk-sharded execution of the
+// partitioned multitask kernel at worker counts 1 and 4 — the load the
+// tentpole targets: many-iteration partition-admission runs fanned out
+// across cores. workers=1 isolates the sharding machinery's cost under
+// multitask admission; workers=4 is the scaling row benchgate holds to
+// its speedup floor on hosts with at least four CPUs (host_cpus is in
+// every BENCH_fabric.json row).
+func BenchmarkMultitaskRunParallel(b *testing.B) {
+	mix := benchMix()
+	p := platform.Default(16)
+	p.ISPs = 1
+	for _, parts := range []int{2, 4} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("partitions=%d/workers=%d", parts, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				opt := sim.Options{
+					Approach:    sim.RunTime,
+					Iterations:  400,
+					Seed:        1,
+					Parallelism: workers,
+					Multitask:   sim.Multitask{Mode: "partition", Partitions: parts},
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(mix, p, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

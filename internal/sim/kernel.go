@@ -67,6 +67,16 @@ type kernel struct {
 	partitions int
 	clock      model.Time
 
+	// lanes is the resolved Multitask.Lanes: 0 keeps the in-order
+	// execute stage, >= 1 shards it round-wise across that many lane
+	// executors (lanes.go). The lane state below is built lazily on
+	// first use, per kernel, so shard kernels get their own lanes.
+	lanes        int
+	laneKs       []*kernel
+	laneAcc      []*fabric.Fabric
+	lanePartials []Result
+	laneErrs     []error
+
 	useReuse  bool
 	interTask bool
 
@@ -196,38 +206,34 @@ func Validate(mix []TaskMix, p platform.Platform, opt Options) error {
 	if err := validateWeights(mix); err != nil {
 		return err
 	}
-	_, modeName, _, err := opt.Multitask.resolve(p.Tiles)
+	_, _, _, lanes, err := opt.Multitask.resolve(p.Tiles)
 	if err != nil {
 		return err
 	}
-	workers, err := opt.shardWorkers(modeName)
-	if err != nil {
-		return err
-	}
-	if opt.Trace != nil && opt.Parallelism != 0 {
-		// Sharded chunks are independent replications on private cold
-		// fabrics; their per-chunk clocks all start at zero, so the
-		// event streams cannot interleave into one run timeline.
-		return fmt.Errorf("sim: tracing (Options.Trace) requires the sequential path: set Parallelism 0, not %d", opt.Parallelism)
+	if opt.Trace != nil && lanes > 0 {
+		// The lane executor runs a round's instances concurrently; their
+		// events cannot interleave into the in-order run timeline.
+		return fmt.Errorf("sim: tracing (Options.Trace) requires the in-order execute stage: set Multitask.Lanes 0, not %d", lanes)
 	}
 	arrivals := opt.Arrivals
 	if arrivals == nil {
 		arrivals = Bernoulli{P: opt.InclusionProb}
 	}
+	workers, err := opt.effectiveWorkers(arrivals)
+	if err != nil {
+		return err
+	}
 	if _, err := arrivals.Start(len(mix)); err != nil {
 		return err
 	}
 	if workers > 0 {
-		sa, ok := arrivals.(ShardableArrivals)
-		if !ok {
-			return fmt.Errorf("sim: arrival process %q cannot run sharded (parallelism %d): it has no indexed per-iteration draw",
-				arrivals.Name(), opt.Parallelism)
-		}
 		iters := opt.Iterations
 		if iters <= 0 {
 			iters = 1000
 		}
-		if _, err := sa.StartSharded(len(mix), iters, opt.Seed); err != nil {
+		// effectiveWorkers established the interface; start the indexed
+		// source too so a bad trace/seed fails here, not mid-run.
+		if _, err := arrivals.(ShardableArrivals).StartSharded(len(mix), iters, opt.Seed); err != nil {
 			return err
 		}
 	}
@@ -269,11 +275,11 @@ func newKernel(mix []TaskMix, p platform.Platform, opt Options) (*kernel, error)
 		rng: rand.New(rand.NewSource(opt.Seed)),
 		src: src,
 	}
-	k.alloc, k.modeName, k.partitions, err = opt.Multitask.resolve(p.Tiles)
+	k.alloc, k.modeName, k.partitions, k.lanes, err = opt.Multitask.resolve(p.Tiles)
 	if err != nil {
 		return nil, err
 	}
-	k.shardWorkers, err = opt.shardWorkers(k.modeName)
+	k.shardWorkers, err = opt.effectiveWorkers(arrivals)
 	if err != nil {
 		return nil, err
 	}
@@ -547,6 +553,9 @@ func (k *kernel) selectInstances(todo []int) ([]*prepared, bool, error) {
 // one instance is in flight at a time and the loop reproduces the
 // sequential back-to-back replay bit for bit.
 func (k *kernel) executeIteration(instances []*prepared) (int, error) {
+	if k.lanes > 0 {
+		return k.executeIterationLanes(instances)
+	}
 	sc := &k.sc
 	arrival := k.clock
 	flights := sc.flights[:0]
@@ -1031,5 +1040,6 @@ func (k *kernel) finish() *Result {
 	} else {
 		res.Execution = "sequential"
 	}
+	res.Workers = k.shardWorkers
 	return res
 }

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"drhwsched/internal/fabric"
+	"drhwsched/internal/model"
+	"drhwsched/internal/reconfig"
+)
+
+// The lane executor (Multitask.Lanes >= 1, partition mode only).
+//
+// Where the chunk-sharded executor (parallel.go) replicates whole
+// iterations, the lane executor shards the event-driven execute stage
+// itself: one admission round — every queued instance the partition
+// policy can grant a claim at the current clock — runs concurrently on
+// a fixed set of lane executors, each a kernel clone working a disjoint
+// tile claim. Partition grants read only the busy flags, never the
+// outcomes of running the granted instances, so granting the whole
+// round up front is exactly the in-order admission sweep; greedy grants
+// read whole-fabric residency and are excluded (ErrParallelMultitask).
+//
+// Determinism comes from the merged event clock at the round hand-off
+// points. Tile residency and per-tile availability are shared through
+// lane views of the master fabric — claims are disjoint, so lanes never
+// touch each other's tiles — while the contended resources, the
+// reconfiguration-port and ISP timelines, are snapshotted per job from
+// the master (SyncTimelines) and folded back post-round by elementwise
+// maximum (MergeTimelines), an order-invariant merge. Every job
+// therefore sees the timelines as of the round start, regardless of
+// which lane runs it or when, and the per-job accounting partials are
+// folded in admission order — so a Result is identical for every
+// Lanes >= 1. Lanes 0 remains the in-order reference, a deliberately
+// different semantics family: there, a round's instances chain port
+// state through one another in admission order.
+//
+// The round barrier is also what defines the retire semantics: flights
+// get their completion times before any retirement, then the usual
+// earliest-completion (admission-order tie-break) retirement frees
+// tiles for the queued remainder, which forms the next round.
+
+// ensureLanes lazily builds this kernel's lane executors: one kernel
+// clone plus one timeline accumulator per lane. Built per kernel, so
+// each chunk-shard kernel gets private lanes and the two parallelism
+// axes compose.
+func (k *kernel) ensureLanes() {
+	if k.laneKs != nil {
+		return
+	}
+	k.laneKs = make([]*kernel, k.lanes)
+	k.laneAcc = make([]*fabric.Fabric, k.lanes)
+	for l := range k.laneKs {
+		k.laneKs[l] = k.newLaneKernel()
+		k.laneAcc[l] = k.fab.LaneView(nil)
+	}
+}
+
+// newLaneKernel clones the kernel into a lane executor: shared
+// read-only design-time tables, shared residency and tile timelines
+// (through a fabric lane view), private scratch, port/ISP snapshots and
+// accounting. Only runInstance and below ever run on a lane kernel.
+func (k *kernel) newLaneKernel() *kernel {
+	lk := &kernel{
+		mix:        k.mix,
+		p:          k.p,
+		opt:        k.opt,
+		prep:       k.prep,
+		alloc:      k.alloc,
+		modeName:   k.modeName,
+		partitions: k.partitions,
+		useReuse:   k.useReuse,
+		interTask:  k.interTask,
+		ispBusy:    make([]model.Dur, k.p.ISPs),
+	}
+	policy := k.opt.Policy
+	if policy == nil {
+		policy = reconfig.LRU{}
+	}
+	var sub reconfig.Policy
+	if _, ok := policy.(reconfig.Random); ok {
+		// The one stateful policy: each lane draws victims from its own
+		// generator, re-pointed per job (runRound) at the job's
+		// (iteration, admission-seq) stream, so victim choices are a
+		// function of the job alone — not of the lane count or of the
+		// other jobs in the round.
+		lk.polRng = rand.New(&splitmixSource{})
+		sub = reconfig.Random{Rng: lk.polRng}
+	}
+	lk.fab = k.fab.LaneView(sub)
+	lk.bindScratch()
+	return lk
+}
+
+// executeIterationLanes is the execute stage with the event loop
+// sharded across lane executors; see the package comment above for the
+// semantics. It mirrors executeIteration's structure: admission sweep
+// (now granting the whole round before running any of it), concurrent
+// round execution with a barrier, tail accounting in admission order,
+// then earliest-completion retirement.
+func (k *kernel) executeIterationLanes(instances []*prepared) (int, error) {
+	k.ensureLanes()
+	sc := &k.sc
+	arrival := k.clock
+	flights := sc.flights[:0]
+	now := arrival
+	peak := 0
+	qi := 0
+	for qi < len(instances) || len(flights) > 0 {
+		// Admission: grant claims to the queue head while one fits.
+		base := len(flights)
+		for qi < len(instances) {
+			pr := instances[qi]
+			n := len(flights)
+			if n < cap(flights) {
+				flights = flights[:n+1]
+			} else {
+				flights = append(flights, flight{})
+			}
+			fl := &flights[n]
+			claim, ok := k.fab.Acquire(k.alloc, pr.busyTiles, pr.cfgs, fl.claim[:0])
+			fl.claim = claim
+			if !ok {
+				flights = flights[:n]
+				break
+			}
+			fl.seq = qi
+			qi++
+			if len(flights) > peak {
+				peak = len(flights)
+			}
+		}
+		if queued := len(instances) - qi; queued > k.peakQueued {
+			k.peakQueued = queued
+		}
+		if len(flights) == 0 {
+			// The queue head cannot be admitted even on an idle fabric:
+			// its schedule needs more tiles than any claim can span.
+			pr := instances[qi]
+			sc.flights = flights
+			return peak, fmt.Errorf("sim: instance %q needs %d tiles but %s admission cannot grant them on %d tiles",
+				pr.sched.G.Name, pr.busyTiles, k.modeName, k.p.Tiles)
+		}
+		if round := flights[base:]; len(round) > 0 {
+			if err := k.runRound(now, round, instances); err != nil {
+				sc.flights = flights[:0]
+				return peak, err
+			}
+			for i := range round {
+				k.qdQ.Add(now.Sub(arrival).Milliseconds())
+				k.rtQ.Add(round[i].end.Sub(arrival).Milliseconds())
+			}
+		}
+		// Retirement: advance to the earliest completion (admission
+		// order on ties) and release its tiles.
+		best := 0
+		for i := 1; i < len(flights); i++ {
+			if flights[i].end < flights[best].end ||
+				(flights[i].end == flights[best].end && flights[i].seq < flights[best].seq) {
+				best = i
+			}
+		}
+		now = flights[best].end
+		k.fab.Release(flights[best].claim)
+		last := len(flights) - 1
+		flights[best], flights[last] = flights[last], flights[best]
+		flights = flights[:last]
+	}
+	sc.flights = flights
+	if now > k.clock {
+		k.clock = now
+	}
+	return peak, nil
+}
+
+// runRound executes one admission round's jobs across the lane
+// executors and folds the outcomes back into the master kernel. Job j
+// runs on lane j%lanes — an assignment that balances the round but
+// cannot influence any result, because every job starts from the same
+// master-timeline snapshot and the folds below are order-invariant
+// (max) or performed in admission order (accounting partials).
+func (k *kernel) runRound(now model.Time, round []flight, instances []*prepared) error {
+	n := len(round)
+	if cap(k.lanePartials) < n {
+		k.lanePartials = make([]Result, n)
+		k.laneErrs = make([]error, n)
+	}
+	partials := k.lanePartials[:n]
+	errs := k.laneErrs[:n]
+	for j := range partials {
+		partials[j] = Result{}
+		errs[j] = nil
+	}
+	lanes := len(k.laneKs)
+	active := min(lanes, n)
+	for l := 0; l < active; l++ {
+		k.laneAcc[l].SyncTimelines(k.fab)
+	}
+	runLane := func(l int) {
+		lk := k.laneKs[l]
+		for j := l; j < n; j += lanes {
+			fl := &round[j]
+			pr := instances[fl.seq]
+			lk.fab.SyncTimelines(k.fab)
+			lk.res = &partials[j]
+			if lk.polRng != nil {
+				reseedStream(lk.polRng, k.opt.Seed, laneDomain, int64(k.curIter)<<20|int64(fl.seq))
+			}
+			end, err := lk.runInstance(pr, instances[fl.seq:], now, fl.claim)
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			fl.end = end
+			k.laneAcc[l].MergeTimelines(lk.fab)
+		}
+	}
+	if active == 1 {
+		runLane(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(active)
+		for l := 0; l < active; l++ {
+			go func(l int) {
+				defer wg.Done()
+				runLane(l)
+			}(l)
+		}
+		wg.Wait()
+	}
+	// Folds. The first error in admission order wins, so the reported
+	// failure does not depend on lane scheduling.
+	for j := 0; j < n; j++ {
+		if errs[j] != nil {
+			return errs[j]
+		}
+	}
+	for j := range partials {
+		k.res.addChunk(&partials[j])
+	}
+	for l := 0; l < active; l++ {
+		k.fab.MergeTimelines(k.laneAcc[l])
+		lk := k.laneKs[l]
+		for i, d := range lk.ispBusy {
+			k.ispBusy[i] += d
+			lk.ispBusy[i] = 0
+		}
+	}
+	return nil
+}

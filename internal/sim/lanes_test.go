@@ -1,0 +1,206 @@
+// Lane-invariance suite for the sharded execute stage
+// (Multitask.Lanes >= 1): the lane executor is its own deterministic
+// semantics family — a round's instances see the port/ISP timelines as
+// of the round start — so the reference is Lanes 1, and every higher
+// lane count must reproduce its Result bit for bit, under -race.
+package sim_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"drhwsched/internal/model"
+	"drhwsched/internal/obs"
+	"drhwsched/internal/platform"
+	"drhwsched/internal/reconfig"
+	"drhwsched/internal/sim"
+)
+
+var laneCounts = []int{2, 3, 8}
+
+// assertLaneInvariant runs opt (which must select partition mode) at
+// Lanes 1 and every higher lane count and requires identical Results.
+func assertLaneInvariant(t *testing.T, wl string, plat platform.Platform, opt sim.Options) *sim.Result {
+	t.Helper()
+	opt.Multitask.Lanes = 1
+	ref, err := sim.Run(goldenMix(wl), plat, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range laneCounts {
+		opt.Multitask.Lanes = l
+		got, err := sim.Run(goldenMix(wl), plat, opt)
+		if err != nil {
+			t.Fatalf("lanes %d: %v", l, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("lanes %d diverges from the 1-lane reference:\n ref: %+v\n got: %+v", l, ref, got)
+		}
+	}
+	return ref
+}
+
+// TestLaneInvariance covers the golden corpus under partition admission
+// with the event loop sharded into lanes.
+func TestLaneInvariance(t *testing.T) {
+	for _, c := range goldenRuns() {
+		c := c
+		t.Run(c.wl+"/"+c.opt.Approach.String(), func(t *testing.T) {
+			t.Parallel()
+			p := platform.Default(16)
+			p.ISPs = 1
+			opt := c.opt
+			opt.Multitask = sim.Multitask{Mode: "partition", Partitions: 4}
+			ref := assertLaneInvariant(t, c.wl, p, opt)
+			if ref.Instances == 0 {
+				t.Fatal("lane run executed nothing")
+			}
+			if c.wl == "multimedia" && ref.MaxInFlight < 2 {
+				t.Fatalf("MaxInFlight = %d; partition admission never ran instances concurrently", ref.MaxInFlight)
+			}
+		})
+	}
+}
+
+// TestLaneInvarianceStatefulPolicy: the random replacement policy draws
+// per-job streams under lanes, so victim choices cannot depend on the
+// lane count; Belady exercises the lookahead seam.
+func TestLaneInvarianceStatefulPolicy(t *testing.T) {
+	p := platform.Default(16)
+	p.ISPs = 1
+	assertLaneInvariant(t, "multimedia", p, sim.Options{
+		Approach:   sim.RunTime,
+		Iterations: 80,
+		Seed:       11,
+		Policy:     reconfig.Random{Rng: rand.New(rand.NewSource(99))},
+		Multitask:  sim.Multitask{Mode: "partition", Partitions: 4},
+	})
+	assertLaneInvariant(t, "multimedia", p, sim.Options{
+		Approach:   sim.RunTime,
+		Iterations: 80,
+		Seed:       11,
+		Policy:     reconfig.Belady{},
+		Lookahead:  true,
+		Multitask:  sim.Multitask{Mode: "partition", Partitions: 4},
+	})
+}
+
+// TestLaneInvarianceDeadline: deadline-mode float accounting survives
+// the lane folds bit for bit.
+func TestLaneInvarianceDeadline(t *testing.T) {
+	p := platform.Default(16)
+	p.ISPs = 1
+	ref := assertLaneInvariant(t, "multimedia", p, sim.Options{
+		Approach:   sim.Hybrid,
+		Iterations: 100,
+		Seed:       3,
+		Deadline:   120 * model.Millisecond,
+		Multitask:  sim.Multitask{Mode: "partition", Partitions: 2},
+	})
+	if ref.PointEnergy == 0 {
+		t.Fatal("deadline mode accumulated no point energy")
+	}
+}
+
+// TestLaneWithParallelism: the two parallelism axes compose — chunk
+// sharding across workers with the execute stage laned inside every
+// shard — and stay invariant in both dimensions.
+func TestLaneWithParallelism(t *testing.T) {
+	p := platform.Default(16)
+	p.ISPs = 1
+	base := sim.Options{
+		Approach:   sim.Hybrid,
+		Iterations: 97,
+		Seed:       7,
+		Multitask:  sim.Multitask{Mode: "partition", Partitions: 4, Lanes: 1},
+	}
+	base.Parallelism = 1
+	ref, err := sim.Run(goldenMix("multimedia"), p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		for _, lanes := range []int{1, 4} {
+			opt := base
+			opt.Parallelism = workers
+			opt.Multitask.Lanes = lanes
+			got, err := sim.Run(goldenMix("multimedia"), p, opt)
+			if err != nil {
+				t.Fatalf("workers=%d lanes=%d: %v", workers, lanes, err)
+			}
+			got.Workers = ref.Workers
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("workers=%d lanes=%d diverges from the reference", workers, lanes)
+			}
+		}
+	}
+}
+
+// TestLaneObserver: per-iteration records are unaffected by the lane
+// count.
+func TestLaneObserver(t *testing.T) {
+	p := platform.Default(16)
+	p.ISPs = 1
+	collect := func(lanes int) []sim.IterationRecord {
+		var recs []sim.IterationRecord
+		_, err := sim.Run(goldenMix("multimedia"), p, sim.Options{
+			Approach:   sim.RunTime,
+			Iterations: 60,
+			Seed:       3,
+			Multitask:  sim.Multitask{Mode: "partition", Partitions: 4, Lanes: lanes},
+			Observer:   func(rec sim.IterationRecord) { recs = append(recs, rec) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	ref := collect(1)
+	if len(ref) != 60 {
+		t.Fatalf("observer saw %d records, want 60", len(ref))
+	}
+	for _, lanes := range laneCounts {
+		if got := collect(lanes); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("lanes %d observer stream diverges from the 1-lane reference", lanes)
+		}
+	}
+}
+
+// TestLaneRejected: the lane knob is partition-only. Greedy admission
+// keeps the typed sentinel (its grants read whole-fabric residency),
+// serial admission rejects it like a stray partition count, and tracing
+// is incompatible with the concurrent execute stage.
+func TestLaneRejected(t *testing.T) {
+	p := platform.Default(16)
+	p.ISPs = 1
+	mix := goldenMix("multimedia")
+
+	opt := sim.Options{Approach: sim.RunTime, Iterations: 5,
+		Multitask: sim.Multitask{Mode: "greedy", Lanes: 2}}
+	if err := sim.Validate(mix, p, opt); !errors.Is(err, sim.ErrParallelMultitask) {
+		t.Fatalf("greedy lanes: Validate error %v, want ErrParallelMultitask", err)
+	}
+	if _, err := sim.Run(mix, p, opt); !errors.Is(err, sim.ErrParallelMultitask) {
+		t.Fatalf("greedy lanes: Run error %v, want ErrParallelMultitask", err)
+	}
+
+	opt = sim.Options{Approach: sim.RunTime, Iterations: 5,
+		Multitask: sim.Multitask{Mode: "serial", Lanes: 2}}
+	if err := sim.Validate(mix, p, opt); err == nil {
+		t.Fatal("serial lanes accepted by Validate")
+	}
+
+	opt = sim.Options{Approach: sim.RunTime, Iterations: 5,
+		Multitask: sim.Multitask{Mode: "partition", Lanes: -1}}
+	if err := sim.Validate(mix, p, opt); err == nil {
+		t.Fatal("negative lanes accepted by Validate")
+	}
+
+	opt = sim.Options{Approach: sim.RunTime, Iterations: 5, Trace: obs.NewRecorder(0),
+		Multitask: sim.Multitask{Mode: "partition", Partitions: 2, Lanes: 2}}
+	if err := sim.Validate(mix, p, opt); err == nil {
+		t.Fatal("tracing with lanes accepted by Validate")
+	}
+}

@@ -212,6 +212,7 @@ func (k *kernel) newShard() (*kernel, error) {
 		alloc:        k.alloc,
 		modeName:     k.modeName,
 		partitions:   k.partitions,
+		lanes:        k.lanes,
 		useReuse:     k.useReuse,
 		interTask:    k.interTask,
 		shardWorkers: k.shardWorkers,

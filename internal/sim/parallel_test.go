@@ -10,11 +10,14 @@ package sim_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"drhwsched/internal/model"
+	"drhwsched/internal/obs"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/reconfig"
 	"drhwsched/internal/sim"
@@ -23,7 +26,9 @@ import (
 var shardCounts = []int{2, 3, 8}
 
 // runShardPair runs opt at Parallelism 1 and p workers and requires
-// identical Results.
+// identical Results. Workers is the one documented worker-count-bearing
+// field: it is asserted per worker count, then normalized to zero so
+// the DeepEqual covers everything else.
 func assertShardInvariant(t *testing.T, wl string, plat platform.Platform, opt sim.Options) *sim.Result {
 	t.Helper()
 	opt.Parallelism = 1
@@ -34,13 +39,23 @@ func assertShardInvariant(t *testing.T, wl string, plat platform.Platform, opt s
 	if ref.Execution != "sharded" {
 		t.Fatalf("Execution = %q, want sharded", ref.Execution)
 	}
+	if ref.Workers != 1 {
+		t.Fatalf("Workers = %d, want 1", ref.Workers)
+	}
+	refCmp := *ref
+	refCmp.Workers = 0
 	for _, p := range shardCounts {
 		opt.Parallelism = p
 		got, err := sim.Run(goldenMix(wl), plat, opt)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", p, err)
 		}
-		if !reflect.DeepEqual(ref, got) {
+		if got.Workers != p {
+			t.Fatalf("parallelism %d: Workers = %d", p, got.Workers)
+		}
+		gotCmp := *got
+		gotCmp.Workers = 0
+		if !reflect.DeepEqual(&refCmp, &gotCmp) {
 			t.Fatalf("parallelism %d diverges from the 1-worker reference:\n ref: %+v\n got: %+v", p, ref, got)
 		}
 	}
@@ -180,45 +195,137 @@ func TestShardedGoldenAggregates(t *testing.T) {
 	}
 }
 
-// TestParallelMultitaskRejected: partition/greedy admission with an
-// explicit worker count fails with the typed sentinel from Validate and
-// Run alike; AutoParallelism falls back to the sequential path instead.
-func TestParallelMultitaskRejected(t *testing.T) {
-	p := platform.Default(16)
-	p.ISPs = 1
-	mix := goldenMix("multimedia")
-	for _, mt := range []sim.Multitask{
+// TestShardInvarianceMultitask: the multitask admission modes shard
+// chunk-wise like serial ones (the in-flight set drains at every
+// iteration boundary, so chunk boundaries are natural), and their
+// concurrency statistics — MaxInFlight above 1, the QueueDelay and
+// ResponseTime sketches — survive the merge bit for bit across the
+// golden corpus.
+func TestShardInvarianceMultitask(t *testing.T) {
+	modes := []sim.Multitask{
+		{Mode: "partition", Partitions: 2},
+		{Mode: "partition", Partitions: 4},
+		{Mode: "greedy"},
+	}
+	for _, c := range goldenRuns() {
+		for _, mt := range modes {
+			c, mt := c, mt
+			name := c.wl + "/" + c.opt.Approach.String() + "/" + mt.Mode
+			if mt.Partitions > 0 {
+				name += fmt.Sprintf("/p=%d", mt.Partitions)
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				p := platform.Default(16)
+				p.ISPs = 1
+				opt := c.opt
+				opt.Multitask = mt
+				ref := assertShardInvariant(t, c.wl, p, opt)
+				if ref.Instances == 0 {
+					t.Fatal("sharded multitask run executed nothing")
+				}
+				if ref.MultitaskMode != mt.Mode {
+					t.Fatalf("MultitaskMode = %q, want %q", ref.MultitaskMode, mt.Mode)
+				}
+				if c.wl == "multimedia" && ref.MaxInFlight < 2 {
+					t.Fatalf("MaxInFlight = %d; multitask admission never ran instances concurrently", ref.MaxInFlight)
+				}
+			})
+		}
+	}
+}
+
+// TestShardInvarianceMultitaskArrivals crosses partition and greedy
+// admission with every built-in arrival process and with deadline mode,
+// at an iteration count that is deliberately not a chunk multiple.
+func TestShardInvarianceMultitaskArrivals(t *testing.T) {
+	trace := sim.Trace{Iterations: [][]int{{0, 2}, {1}, {}, {2, 1, 0}, {0}}}
+	arrivals := []struct {
+		name string
+		arr  sim.Arrivals
+	}{
+		{"bernoulli", sim.Bernoulli{P: 0.7}},
+		{"onoff", sim.DefaultOnOff},
+		{"trace", trace},
+	}
+	modes := []sim.Multitask{
 		{Mode: "partition", Partitions: 2},
 		{Mode: "greedy"},
-	} {
-		for _, workers := range []int{1, 2, 8} {
-			opt := sim.Options{Approach: sim.RunTime, Iterations: 5, Multitask: mt, Parallelism: workers}
-			vErr := sim.Validate(mix, p, opt)
-			if !errors.Is(vErr, sim.ErrParallelMultitask) {
-				t.Fatalf("%s parallelism=%d: Validate error %v, want ErrParallelMultitask", mt.Mode, workers, vErr)
-			}
-			_, rErr := sim.Run(mix, p, opt)
-			if !errors.Is(rErr, sim.ErrParallelMultitask) {
-				t.Fatalf("%s parallelism=%d: Run error %v, want ErrParallelMultitask", mt.Mode, workers, rErr)
-			}
+	}
+	for _, a := range arrivals {
+		for _, mt := range modes {
+			a, mt := a, mt
+			t.Run(a.name+"/"+mt.Mode, func(t *testing.T) {
+				t.Parallel()
+				p := platform.Default(16)
+				p.ISPs = 1
+				assertShardInvariant(t, "multimedia", p, sim.Options{
+					Approach:   sim.Hybrid,
+					Iterations: 97,
+					Seed:       5,
+					Arrivals:   a.arr,
+					Multitask:  mt,
+				})
+			})
 		}
+	}
+	t.Run("deadline/partition", func(t *testing.T) {
+		t.Parallel()
+		p := platform.Default(16)
+		p.ISPs = 1
+		ref := assertShardInvariant(t, "multimedia", p, sim.Options{
+			Approach:   sim.Hybrid,
+			Iterations: 100,
+			Seed:       3,
+			Deadline:   120 * model.Millisecond,
+			Multitask:  sim.Multitask{Mode: "partition", Partitions: 2},
+		})
+		if ref.PointEnergy == 0 {
+			t.Fatal("deadline mode accumulated no point energy")
+		}
+	})
+}
 
-		// Auto: quietly sequential, with the mode's semantics intact.
-		opt := sim.Options{Approach: sim.RunTime, Iterations: 5, Multitask: mt, Parallelism: sim.AutoParallelism}
-		r, err := sim.Run(mix, p, opt)
-		if err != nil {
-			t.Fatalf("%s auto: %v", mt.Mode, err)
-		}
-		if r.Execution != "sequential" {
-			t.Fatalf("%s auto: Execution = %q, want the sequential fallback", mt.Mode, r.Execution)
-		}
-		opt.Parallelism = 0
-		seq, err := sim.Run(mix, p, opt)
+// TestShardedMultitaskObserverOrder: multitask observer streams keep
+// iteration order and the per-iteration MaxInFlight under every worker
+// count.
+func TestShardedMultitaskObserverOrder(t *testing.T) {
+	p := platform.Default(16)
+	p.ISPs = 1
+	collect := func(workers int) []sim.IterationRecord {
+		var recs []sim.IterationRecord
+		_, err := sim.Run(goldenMix("multimedia"), p, sim.Options{
+			Approach:    sim.RunTime,
+			Iterations:  130,
+			Seed:        3,
+			Parallelism: workers,
+			Multitask:   sim.Multitask{Mode: "partition", Partitions: 2},
+			Observer:    func(rec sim.IterationRecord) { recs = append(recs, rec) },
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(r, seq) {
-			t.Fatalf("%s auto fallback diverges from the sequential path", mt.Mode)
+		return recs
+	}
+	ref := collect(1)
+	if len(ref) != 130 {
+		t.Fatalf("observer saw %d records, want 130", len(ref))
+	}
+	sawConcurrent := false
+	for i, rec := range ref {
+		if rec.Iteration != i {
+			t.Fatalf("record %d has iteration %d; sharded observers must stream in order", i, rec.Iteration)
+		}
+		if rec.MaxInFlight > 1 {
+			sawConcurrent = true
+		}
+	}
+	if !sawConcurrent {
+		t.Fatal("no iteration ran instances concurrently under partition admission")
+	}
+	for _, workers := range shardCounts {
+		if got := collect(workers); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("parallelism %d observer stream diverges from the 1-worker reference", workers)
 		}
 	}
 }
@@ -232,6 +339,7 @@ func TestParallelismValidation(t *testing.T) {
 	cases := []sim.Options{
 		{Approach: sim.RunTime, Iterations: 5, Parallelism: -2},
 		{Approach: sim.RunTime, Iterations: 5, Parallelism: 2, Arrivals: sequentialOnly{}},
+		{Approach: sim.RunTime, Iterations: 5, Parallelism: 2, Trace: obs.NewRecorder(0)},
 	}
 	for _, opt := range cases {
 		vErr := sim.Validate(mix, p, opt)
@@ -244,8 +352,9 @@ func TestParallelismValidation(t *testing.T) {
 	}
 }
 
-// sequentialOnly is an arrival process without indexed draws: sharding
-// requests against it must be rejected, not silently run sequentially.
+// sequentialOnly is an arrival process without indexed draws: explicit
+// sharding requests against it must be rejected, not silently run
+// sequentially — only AutoParallelism may degrade.
 type sequentialOnly struct{}
 
 func (sequentialOnly) Name() string { return "sequential-only" }
@@ -253,26 +362,65 @@ func (sequentialOnly) Start(tasks int) (sim.ArrivalSource, error) {
 	return sim.Bernoulli{}.Start(tasks)
 }
 
-// TestAutoParallelismSerial: auto under serial admission takes the
-// sharded path and agrees with the explicit 1-worker reference.
-func TestAutoParallelismSerial(t *testing.T) {
+// TestAutoParallelism: auto takes the sharded path — under serial and
+// multitask admission alike — with one worker per CPU recorded in
+// Workers, and agrees with the explicit 1-worker reference on
+// everything else.
+func TestAutoParallelism(t *testing.T) {
+	for _, mt := range []sim.Multitask{
+		{},
+		{Mode: "partition", Partitions: 2},
+	} {
+		p := platform.Default(8)
+		p.ISPs = 1
+		opt := sim.Options{Approach: sim.NoPrefetch, Iterations: 64, Seed: 2,
+			Parallelism: sim.AutoParallelism, Multitask: mt}
+		auto, err := sim.Run(goldenMix("multimedia"), p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auto.Execution != "sharded" {
+			t.Fatalf("mode %q: Execution = %q, want sharded", mt.Mode, auto.Execution)
+		}
+		if auto.Workers != runtime.GOMAXPROCS(0) {
+			t.Fatalf("mode %q: Workers = %d, want GOMAXPROCS %d", mt.Mode, auto.Workers, runtime.GOMAXPROCS(0))
+		}
+		opt.Parallelism = 1
+		ref, err := sim.Run(goldenMix("multimedia"), p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auto.Workers, ref.Workers = 0, 0
+		if !reflect.DeepEqual(auto, ref) {
+			t.Fatalf("mode %q: auto parallelism diverges from the 1-worker sharded reference", mt.Mode)
+		}
+	}
+}
+
+// TestAutoParallelismFallback: the two cases sharding is impossible —
+// tracing on, no indexed arrival draws — degrade AutoParallelism to the
+// sequential path (Workers 0) where an explicit count errors.
+func TestAutoParallelismFallback(t *testing.T) {
 	p := platform.Default(8)
 	p.ISPs = 1
-	opt := sim.Options{Approach: sim.NoPrefetch, Iterations: 64, Seed: 2, Parallelism: sim.AutoParallelism}
-	auto, err := sim.Run(goldenMix("multimedia"), p, opt)
-	if err != nil {
-		t.Fatal(err)
+	mix := goldenMix("multimedia")
+	cases := []struct {
+		name string
+		mut  func(*sim.Options)
+	}{
+		{"arrivals", func(o *sim.Options) { o.Arrivals = sequentialOnly{} }},
+		{"trace", func(o *sim.Options) { o.Trace = obs.NewRecorder(0) }},
 	}
-	if auto.Execution != "sharded" {
-		t.Fatalf("Execution = %q, want sharded", auto.Execution)
-	}
-	opt.Parallelism = 1
-	ref, err := sim.Run(goldenMix("multimedia"), p, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(auto, ref) {
-		t.Fatal("auto parallelism diverges from the 1-worker sharded reference")
+	for _, c := range cases {
+		opt := sim.Options{Approach: sim.NoPrefetch, Iterations: 8, Seed: 2, Parallelism: sim.AutoParallelism}
+		c.mut(&opt)
+		r, err := sim.Run(mix, p, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if r.Execution != "sequential" || r.Workers != 0 {
+			t.Fatalf("%s: Execution = %q Workers = %d, want the sequential fallback", c.name, r.Execution, r.Workers)
+		}
 	}
 }
 
@@ -332,5 +480,32 @@ func TestSimRunAllocsSharded(t *testing.T) {
 	allocs := testing.AllocsPerRun(3, run)
 	if allocs > 23000 {
 		t.Fatalf("sharded sim.Run allocates %.0f objects/run; the budget is 23000", allocs)
+	}
+}
+
+// TestSimRunAllocsMultitaskParallel pins the per-shard scratch budget
+// of the sharded multitask path: partition admission reuses the same
+// per-shard scratch as serial, so sharding a multitask run must stay
+// within the same order of setup-dominated allocations.
+func TestSimRunAllocsMultitaskParallel(t *testing.T) {
+	mix := goldenMix("multimedia")
+	p := platform.Default(16)
+	p.ISPs = 1
+	run := func() {
+		_, err := sim.Run(mix, p, sim.Options{
+			Approach:    sim.Hybrid,
+			Iterations:  100,
+			Seed:        1,
+			Parallelism: 2,
+			Multitask:   sim.Multitask{Mode: "partition", Partitions: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm any global state
+	allocs := testing.AllocsPerRun(3, run)
+	if allocs > 26000 {
+		t.Fatalf("sharded multitask sim.Run allocates %.0f objects/run; the budget is 26000", allocs)
 	}
 }

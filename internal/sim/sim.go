@@ -91,18 +91,23 @@ type TaskMix struct {
 }
 
 // AutoParallelism asks Run to pick the shard worker count itself: one
-// per available CPU under serial admission, falling back to the
-// sequential path for the shared-fabric multitask modes.
+// per available CPU, under every admission mode (serial, partition and
+// greedy all shard chunk-wise). It quietly falls back to the sequential
+// path in the two cases sharding is impossible — event tracing is on,
+// or the arrival process has no indexed per-iteration draw — where an
+// explicit worker count would error instead. The chosen count is
+// recorded in Result.Workers.
 const AutoParallelism = -1
 
 // ErrParallelMultitask is returned (wrapped) when an explicit
-// Parallelism >= 1 is combined with partition or greedy multitask
-// admission. Those modes interleave instances on one shared fabric
-// whose residency deliberately carries across iterations, so their
-// correctness reference is the warm sequential path; sharded
-// replication would silently change what they measure. Use
-// AutoParallelism to get the sequential fallback without an error.
-var ErrParallelMultitask = errors.New("sharded parallel execution requires serial multitask admission")
+// per-partition lane count (Multitask.Lanes >= 1) is combined with
+// greedy admission. Greedy grants read the whole fabric's residency to
+// prefer configuration-affine tiles, so a grant can depend on what the
+// previous instance of the same admission round left behind — there is
+// no disjoint per-lane residency to shard the event loop over. Chunk
+// sharding (Options.Parallelism) works for greedy like any other mode;
+// only the intra-run lane executor is partition-only.
+var ErrParallelMultitask = errors.New("greedy multitask admission cannot shard the fabric event loop into lanes")
 
 // Options configure a simulation run.
 type Options struct {
@@ -130,12 +135,16 @@ type Options struct {
 	// Note that 0 and 1 differ in semantics, not only in speed:
 	// residency chains across a chunk, not across the whole run.
 	//
-	// AutoParallelism (-1) uses one worker per available CPU under
-	// serial admission and quietly falls back to the sequential path
-	// for partition/greedy modes; an explicit Parallelism >= 1 with
-	// those modes fails with ErrParallelMultitask (see its doc). The
-	// arrival process must support indexed draws (ShardableArrivals) —
-	// the built-in Bernoulli, OnOff and Trace processes all do.
+	// Sharding works under every admission mode: partition and greedy
+	// runs replicate chunk-wise exactly like serial ones, with the
+	// in-flight set drained at each chunk close (the event loop already
+	// drains before returning, so a chunk boundary is an iteration
+	// boundary). AutoParallelism (-1) uses one worker per available
+	// CPU, falling back to the sequential path when sharding is
+	// impossible — tracing on, or an arrival process without indexed
+	// draws (ShardableArrivals; the built-in Bernoulli, OnOff and Trace
+	// processes all have them) — where an explicit count errors
+	// instead. The resolved worker count lands in Result.Workers.
 	Parallelism int
 
 	// Policy is the replacement policy (nil: LRU, the default module).
@@ -171,10 +180,11 @@ type Options struct {
 	// never alters results — a traced run's aggregates are
 	// bit-identical to the untraced run — and a nil recorder costs
 	// one pointer check on the hot path (the allocation budgets pin
-	// this). Tracing requires the sequential path (Parallelism 0):
-	// sharded chunks replay on private cold fabrics whose clocks all
-	// start at zero, so their event streams cannot interleave into
-	// one meaningful timeline.
+	// this). Tracing requires the sequential path: sharded chunks
+	// replay on private cold fabrics whose clocks all start at zero,
+	// so their event streams cannot interleave into one meaningful
+	// timeline. An explicit Parallelism >= 1 with Trace set is
+	// rejected; AutoParallelism degrades to sequential.
 	Trace *obs.Recorder
 	// DisableInterTask turns the inter-task optimization off for the
 	// Hybrid approach (ablation A2). RunTime/RunTimeInterTask are
@@ -207,25 +217,35 @@ type Options struct {
 	Context context.Context
 }
 
-// shardWorkers resolves the Parallelism knob against the resolved
-// admission-mode name: 0 means the sequential warm-fabric path, any
-// positive count means sharded execution with that many workers.
-func (o Options) shardWorkers(mode string) (int, error) {
+// effectiveWorkers resolves the Parallelism knob against the run's
+// arrival process and tracing configuration: 0 means the sequential
+// warm-fabric path, any positive count means sharded execution with
+// that many workers. Explicit counts are strict — they error when
+// sharding is impossible (tracing on, or no indexed arrival draws) —
+// while AutoParallelism degrades to the sequential path in those
+// cases (drhwd counts the fallbacks in its /metrics exposition). The
+// admission mode never matters: serial, partition and greedy runs all
+// shard chunk-wise.
+func (o Options) effectiveWorkers(arrivals Arrivals) (int, error) {
 	switch {
 	case o.Parallelism == 0:
 		return 0, nil
 	case o.Parallelism == AutoParallelism:
-		if mode != "serial" {
-			// Shared-fabric admission stays on the warm sequential
-			// reference; see the Parallelism and ErrParallelMultitask
-			// docs for why sharded replication is not offered there.
+		if o.Trace != nil {
+			return 0, nil
+		}
+		if _, ok := arrivals.(ShardableArrivals); !ok {
 			return 0, nil
 		}
 		return runtime.GOMAXPROCS(0), nil
 	case o.Parallelism > 0:
-		if mode != "serial" {
-			return 0, fmt.Errorf("sim: parallelism %d with multitask mode %q: %w",
-				o.Parallelism, mode, ErrParallelMultitask)
+		if o.Trace != nil {
+			return 0, fmt.Errorf("sim: tracing requires the sequential path: unset Options.Trace or set Parallelism 0, not %d",
+				o.Parallelism)
+		}
+		if _, ok := arrivals.(ShardableArrivals); !ok {
+			return 0, fmt.Errorf("sim: arrival process %q has no indexed per-iteration draw and cannot run sharded (parallelism %d)",
+				arrivals.Name(), o.Parallelism)
 		}
 		return o.Parallelism, nil
 	default:
@@ -305,10 +325,16 @@ type Result struct {
 
 	// Execution names the kernel path: "sequential" (warm-fabric
 	// reference, Parallelism 0) or "sharded" (independent per-iteration
-	// replications, Parallelism >= 1). The worker count is deliberately
-	// not recorded — a sharded Result is identical for every worker
-	// count, and recording it would break that.
+	// replications, Parallelism >= 1). Workers records the resolved
+	// worker count of a sharded run — the explicit Parallelism, or the
+	// CPU count AutoParallelism chose — and stays 0 on the sequential
+	// path, including the AutoParallelism fallbacks. Workers is the one
+	// field that legitimately varies with the worker count: every other
+	// field of a sharded Result is bit-identical for every
+	// Parallelism >= 1, and the shard-invariance suite normalizes
+	// Workers before comparing whole Results.
 	Execution string
+	Workers   int
 
 	// CriticalPct is the average share of critical subtasks across the
 	// analyses used (meaningful for Hybrid only).

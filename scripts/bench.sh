@@ -3,24 +3,29 @@
 # -benchmem and emit two JSON artifacts:
 #
 #   BENCH_sim.json     sim kernel (per approach) + engine sweep
-#   BENCH_fabric.json  multitask kernel at partition counts 1/2/4
+#   BENCH_fabric.json  multitask kernel at partition counts 1/2/4 plus
+#                      the sharded partitions x workers grid
 #
 # One record per benchmark with ns/op, B/op, allocs/op and the host's
 # logical CPU count (host_cpus — ns/op rows are only comparable between
 # hosts of the same width; see internal/benchgate). CI uploads both
 # files as artifacts so the performance trajectory (especially the hot
 # paths' allocation budgets) has data points across commits, and then
-# gates BENCH_sim.json against the committed BENCH_baseline.json with
+# gates BENCH_sim.json against the committed BENCH_baseline.json and
+# BENCH_fabric.json against BENCH_fabric_baseline.json with
 # cmd/benchgate: allocation regressions past ~1.3x fail the build, and
-# on hosts with >= 4 CPUs the sharded kernel must show its speedup.
+# on hosts with >= 4 CPUs every workers=1/workers=4 row pair must show
+# its speedup.
 #
 #   BENCH_OUT=path         sim output file (default BENCH_sim.json)
 #   FABRIC_OUT=path        fabric output file (default BENCH_fabric.json)
-#   BENCH_BASELINE=path    gate baseline (default BENCH_baseline.json;
-#                          set BENCH_GATE=0 to skip the gate)
+#   BENCH_BASELINE=path    sim gate baseline (default BENCH_baseline.json;
+#                          set BENCH_GATE=0 to skip both gates)
+#   FABRIC_BASELINE=path   fabric gate baseline (default
+#                          BENCH_fabric_baseline.json)
 #   BENCHTIME=5x           -benchtime for BenchmarkSimRun*
 #   SWEEP_BENCHTIME=3x     -benchtime for BenchmarkEngineSweep
-#   FABRIC_BENCHTIME=5x    -benchtime for BenchmarkMultitaskRun
+#   FABRIC_BENCHTIME=5x    -benchtime for BenchmarkMultitaskRun*
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +72,9 @@ go test -run '^$' -bench 'BenchmarkEngineSweep' -benchmem \
     -benchtime "${SWEEP_BENCHTIME:-3x}" . | tee -a "$RAW"
 
 echo "== multitask fabric benchmarks =="
+# The unanchored pattern also matches BenchmarkMultitaskRunParallel
+# (chunk-sharded partition admission at workers 1/4), whose row pairs
+# feed the benchgate speedup check on wide-enough hosts.
 go test -run '^$' -bench 'BenchmarkMultitaskRun' -benchmem \
     -benchtime "${FABRIC_BENCHTIME:-5x}" ./internal/sim | tee "$FABRIC_RAW"
 
@@ -75,6 +83,11 @@ to_json "$FABRIC_RAW" "$FABRIC"
 
 BASELINE="${BENCH_BASELINE:-BENCH_baseline.json}"
 if [ "${BENCH_GATE:-1}" != "0" ] && [ -f "$BASELINE" ]; then
-    echo "== benchmark regression gate =="
+    echo "== benchmark regression gate (sim) =="
     go run ./cmd/benchgate -current "$OUT" -baseline "$BASELINE"
+fi
+FABRIC_BASE="${FABRIC_BASELINE:-BENCH_fabric_baseline.json}"
+if [ "${BENCH_GATE:-1}" != "0" ] && [ -f "$FABRIC_BASE" ]; then
+    echo "== benchmark regression gate (fabric) =="
+    go run ./cmd/benchgate -current "$FABRIC" -baseline "$FABRIC_BASE"
 fi

@@ -18,8 +18,11 @@
 #      /v1/simulate?trace=events stream must deliver load events and a
 #      summary; and a coordinator sweep driven under a fixed W3C
 #      traceparent must leave the same trace ID in the coordinator's
-#      and both replicas' logs. Trace artifacts land in
-#      SMOKE_ARTIFACT_DIR (default: the run's tmp dir) for CI upload.
+#      and both replicas' logs. A partition-mode multitask document
+#      with "parallelism": 2 must come back with the "sharded"
+#      execution marker and its worker count on the wire. Trace
+#      artifacts land in SMOKE_ARTIFACT_DIR (default: the run's tmp
+#      dir) for CI upload.
 #
 # CI runs this; `make loadtest` runs it locally.
 set -eu
@@ -183,6 +186,46 @@ grep -q '"done":true' "$ART/smoke_events.ndjson" \
 grep -q '"kind":"load"' "$ART/smoke_events.ndjson" \
     || { echo "smoke: event trace stream has no load events"; exit 1; }
 echo "smoke: /v1/simulate?trace=events streams load events + summary"
+
+# A partition-mode multitask document that opts into sharded execution
+# must report it on the wire: the replica runs the fabric event loop
+# chunk-sharded across 2 workers and the response says so.
+cat > "$TMP/parallel.json" <<'EOF3'
+{
+  "name": "duo",
+  "platform": {"tiles": 16},
+  "sim": {"approach": "run-time", "iterations": 40, "seed": 1,
+          "inclusion_prob": 1, "parallelism": 2,
+          "multitask": {"mode": "partition", "partitions": 2}},
+  "tasks": [{
+    "name": "left",
+    "scenarios": [{
+      "subtasks": [
+        {"name": "a", "exec_ms": 10},
+        {"name": "b", "exec_ms": 12},
+        {"name": "c", "exec_ms": 8}
+      ],
+      "edges": [{"from": 0, "to": 1}, {"from": 1, "to": 2}]
+    }]
+  }, {
+    "name": "right",
+    "scenarios": [{
+      "subtasks": [
+        {"name": "x", "exec_ms": 9},
+        {"name": "y", "exec_ms": 11}
+      ],
+      "edges": [{"from": 0, "to": 1}]
+    }]
+  }]
+}
+EOF3
+curl -fsS -X POST --data-binary @"$TMP/parallel.json" \
+    "http://$R1/v1/simulate" > "$TMP/parallel.out"
+grep -q '"execution": "sharded"' "$TMP/parallel.out" \
+    || { echo "smoke: partition-mode parallel run did not report sharded execution"; cat "$TMP/parallel.out"; exit 1; }
+grep -q '"workers": 2' "$TMP/parallel.out" \
+    || { echo "smoke: sharded run did not report its worker count"; cat "$TMP/parallel.out"; exit 1; }
+echo "smoke: partition multitask + parallelism 2 reports sharded execution"
 
 # One traceparent must span the coordinator and both replicas: drive a
 # sweep under a fixed trace ID and find it in all three logs.
