@@ -31,6 +31,7 @@ func main() {
 	flag.Float64Var(&lim.NsRatio, "ns-ratio", lim.NsRatio, "max current/baseline ns/op ratio (same-host rows only; 0 disables)")
 	flag.Float64Var(&lim.MinSpeedup, "min-speedup", lim.MinSpeedup, "required workers=1 / workers=4 speedup (0 disables)")
 	flag.IntVar(&lim.MinSpeedupCPUs, "speedup-cpus", lim.MinSpeedupCPUs, "minimum host CPUs before the speedup check applies")
+	flag.Float64Var(&lim.ClusterRatio, "cluster-ratio", lim.ClusterRatio, "max baseline/current cells/sec decay for cluster rows (same-host rows only; 0 disables)")
 	flag.Parse()
 
 	cur, err := load(*current)

@@ -11,10 +11,18 @@
 //	          [-addr host:port] [-vnodes N] [-max-inflight N]
 //	          [-max-subtasks N] [-max-sweep-cells N]
 //	          [-idle-timeout D] [-retry-waves N] [-backoff D]
-//	          [-max-backoff D] [-drain D] [-pprof-addr host:port]
+//	          [-max-backoff D] [-drain D] [-evict-after N]
+//	          [-pprof-addr host:port]
 //
 // Endpoints: POST /v1/sweep (streaming NDJSON), GET /healthz (pool
-// health with per-replica identity and cache counters), GET /metrics.
+// health with per-replica identity and cache counters), GET /metrics,
+// and GET/POST /v1/replicas — the hot add/remove admin surface.
+// Removing a replica drains it: out of future sweeps, but kept in
+// every peer set so its warm cache serves peer fills while its keys
+// re-home. Adding it back (or a fresh URL) rejoins the ring; every
+// membership change pushes the updated peer set to all members'
+// /v1/peers. A replica that fails -evict-after consecutive health
+// probes is dropped entirely.
 //
 // Use -addr 127.0.0.1:0 for an ephemeral port; the bound address is
 // logged as "listening on HOST:PORT" once the listener is up. SIGINT
@@ -62,16 +70,26 @@ func servePprof(addr string, logf func(string, ...any)) {
 }
 
 // urlList collects repeated -replica flags, each of which may itself
-// be a comma-separated list.
+// be a comma-separated list. Duplicates (after trailing-slash
+// normalization) are rejected right here at parse time: a doubled URL
+// would skew the hash ring toward one process, and catching it in the
+// flag error names the offending URL before anything boots.
 type urlList []string
 
 func (l *urlList) String() string { return strings.Join(*l, ",") }
 
 func (l *urlList) Set(v string) error {
 	for _, u := range strings.Split(v, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			*l = append(*l, u)
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
 		}
+		for _, have := range *l {
+			if have == u {
+				return fmt.Errorf("duplicate replica URL %q", u)
+			}
+		}
+		*l = append(*l, u)
 	}
 	return nil
 }
@@ -90,6 +108,7 @@ func main() {
 		maxBackoff  = flag.Duration("max-backoff", 0, "retry backoff ceiling (0: 2s)")
 		drain       = flag.Duration("drain", 0, "shutdown drain budget for in-flight sweeps (0: 10s)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty: disabled)")
+		evictAfter  = flag.Int("evict-after", 0, "consecutive failed health probes before a replica is evicted (0: 3, negative: never)")
 	)
 	flag.Var(&replicas, "replica", "drhwd replica base URL (repeatable; accepts comma-separated lists)")
 	flag.Parse()
@@ -115,6 +134,7 @@ func main() {
 		RetryBackoff:      *backoff,
 		MaxRetryBackoff:   *maxBackoff,
 		DrainTimeout:      *drain,
+		EvictAfterProbes:  *evictAfter,
 		Logf:              logger.Printf,
 		Logger:            slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
@@ -122,6 +142,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "drhwcoord: %v\n", err)
 		os.Exit(1)
 	}
+
+	// Seed every replica's peer set from the configured pool; replicas
+	// that are not up yet (or run -peer-fill=false) just miss a
+	// best-effort push and catch the next membership change.
+	coord.SyncPeers()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

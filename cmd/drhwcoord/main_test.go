@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestURLListRejectsDuplicates(t *testing.T) {
+	var l urlList
+	if err := l.Set("http://a:1,http://b:2"); err != nil {
+		t.Fatal(err)
+	}
+	// The same URL with a trailing slash is the same replica.
+	err := l.Set("http://a:1/")
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate URL: err = %v, want duplicate error naming it", err)
+	}
+	if !strings.Contains(err.Error(), "http://a:1") {
+		t.Fatalf("error %q does not name the offending URL", err)
+	}
+	if got := l.String(); got != "http://a:1,http://b:2" {
+		t.Fatalf("list after rejected Set = %q, want the original two", got)
+	}
+
+	var empty urlList
+	if err := empty.Set(" , "); err != nil || len(empty) != 0 {
+		t.Fatalf("blank entries: list = %v, err = %v, want both empty", empty, err)
+	}
+}

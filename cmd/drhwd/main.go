@@ -6,13 +6,23 @@
 // Usage:
 //
 //	drhwd [-addr host:port] [-workers N] [-cache N]
+//	      [-peers URL[,URL...]] [-peer-fill=true|false]
 //	      [-max-inflight N] [-max-subtasks N] [-max-sweep-cells N]
 //	      [-timeout D] [-drain D] [-pprof-addr host:port]
 //
 // Endpoints: POST /v1/analyze, POST /v1/simulate (add
 // ?stream=iterations for per-iteration NDJSON), POST /v1/sweep
-// (streaming NDJSON), GET /healthz, GET /metrics. Request bodies are
-// workload JSON documents (see internal/workload's schema comment).
+// (streaming NDJSON), GET /v1/analysis/{fingerprint} (serialized
+// cached analyses for sibling replicas), POST /v1/peers (live peer-set
+// replacement, pushed by drhwcoord on pool changes), GET /healthz,
+// GET /metrics. Request bodies are workload JSON documents (see
+// internal/workload's schema comment).
+//
+// With -peer-fill (the default) the analysis cache is the tiered
+// store: a key missing locally is fetched from the -peers replicas —
+// ranked by rendezvous hash, so both sides agree who likely owns it —
+// before the engine falls back to computing it. -peers seeds the set;
+// a coordinator updates it at runtime through /v1/peers.
 //
 // Use -addr 127.0.0.1:0 for an ephemeral port; the bound address is
 // logged as "listening on HOST:PORT" once the listener is up. SIGINT
@@ -35,10 +45,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"drhwsched/internal/engine"
+	"drhwsched/internal/peerstore"
 	"drhwsched/internal/server"
 )
 
@@ -71,6 +83,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-request deadline (0: 60s)")
 		drain       = flag.Duration("drain", 0, "shutdown drain budget for in-flight requests (0: 10s)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this side address (empty: disabled)")
+		peers       = flag.String("peers", "", "sibling replica base URLs for peer fill (comma-separated; live-updatable via /v1/peers)")
+		peerFill    = flag.Bool("peer-fill", true, "tiered analysis store: try peer replicas before recomputing a missing analysis")
 	)
 	flag.Parse()
 
@@ -78,8 +92,27 @@ func main() {
 	if *pprofAddr != "" {
 		servePprof(*pprofAddr, logger.Printf)
 	}
+	engCfg := engine.Config{Workers: *workers, CacheSize: *cacheSize}
+	var ps *peerstore.Store
+	if *peerFill {
+		ps = peerstore.New(peerstore.Config{CacheSize: *cacheSize, Logf: logger.Printf})
+		if *peers != "" {
+			var list []string
+			for _, u := range strings.Split(*peers, ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					list = append(list, u)
+				}
+			}
+			ps.SetPeers(list)
+			logger.Printf("drhwd: peer fill over %d seed peer(s)", len(ps.Peers()))
+		}
+		engCfg.Store = ps
+	} else if *peers != "" {
+		logger.Printf("drhwd: -peers ignored: peer fill disabled")
+	}
 	srv := server.New(server.Config{
-		Engine:         engine.New(engine.Config{Workers: *workers, CacheSize: *cacheSize}),
+		Engine:         engine.New(engCfg),
+		PeerStore:      ps,
 		MaxInFlight:    *maxInflight,
 		MaxSubtasks:    *maxSubtasks,
 		MaxSweepCells:  *maxCells,

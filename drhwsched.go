@@ -39,7 +39,9 @@
 //     by analysis fingerprint on a consistent-hash ring, merging the
 //     cell streams and retrying failed replicas; the engine's analysis
 //     cache sits behind the AnalysisStore seam (NewLRUStore is the
-//     default), so replicas can plug in shared backends.
+//     default), so replicas can plug in shared backends — NewPeerStore
+//     is the tiered one drhwd runs, filling cold caches from warm
+//     peer replicas before recomputing.
 //
 // # Quick start
 //
@@ -69,6 +71,7 @@ import (
 	"drhwsched/internal/graph"
 	"drhwsched/internal/model"
 	"drhwsched/internal/obs"
+	"drhwsched/internal/peerstore"
 	"drhwsched/internal/platform"
 	"drhwsched/internal/prefetch"
 	"drhwsched/internal/reconfig"
@@ -399,6 +402,23 @@ func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 // NewLRUStore returns the default analysis-cache backend: a bounded
 // in-memory LRU (capacity <= 0 means 256 entries).
 func NewLRUStore(capacity int) AnalysisStore { return engine.NewLRUStore(capacity) }
+
+// Cross-replica peer fill (the tiered analysis store).
+type (
+	// PeerStore is the tiered AnalysisStore every drhwd runs by
+	// default: local LRU, then a rendezvous-ranked fetch from peer
+	// replicas' /v1/analysis/{fingerprint}, then fall through to
+	// compute. SetPeers updates the peer set live (the coordinator
+	// pushes it on every membership change).
+	PeerStore = peerstore.Store
+	// PeerStoreConfig sizes the local tier and tunes peer fetching.
+	PeerStoreConfig = peerstore.Config
+)
+
+// NewPeerStore builds a tiered analysis store; pass it to the engine
+// via EngineConfig.Store and to the server via ServerConfig.PeerStore
+// (which serves /v1/analysis and /v1/peers from it).
+func NewPeerStore(cfg PeerStoreConfig) *PeerStore { return peerstore.New(cfg) }
 
 // Scheduling service (the drhwd daemon's serving layer).
 type (

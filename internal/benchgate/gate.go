@@ -46,6 +46,11 @@ type Record struct {
 	// HostCPUs is the logical CPU count of the measuring host; 0 means
 	// the artifact predates the field (ns/op checks are then skipped).
 	HostCPUs int `json:"host_cpus,omitempty"`
+	// CellsPerSec is the wall-clock sweep throughput of a
+	// BENCH_cluster.json row (zero for go-test benchmark rows). Like
+	// ns/op it is machine-dependent, so it is gated only between rows
+	// measured on hosts with the same CPU count.
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
 }
 
 // Limits configure the gate. The zero value of a field disables that
@@ -65,6 +70,13 @@ type Limits struct {
 	// current artifact's rows report HostCPUs >= MinSpeedupCPUs.
 	MinSpeedup     float64
 	MinSpeedupCPUs int
+	// ClusterRatio bounds cluster-sweep throughput decay: a current
+	// row regresses when its cells/sec falls below baseline /
+	// ClusterRatio, compared only when both rows carry the same
+	// non-zero HostCPUs. Generous for the same reason NsRatio is —
+	// wall-clock throughput is noisy — so it catches a re-shard leg
+	// going recompute-bound, not percent-level drift.
+	ClusterRatio float64
 }
 
 // DefaultLimits is the CI gate configuration.
@@ -75,6 +87,7 @@ func DefaultLimits() Limits {
 		NsRatio:        4,
 		MinSpeedup:     1.5,
 		MinSpeedupCPUs: 4,
+		ClusterRatio:   3,
 	}
 }
 
@@ -147,6 +160,12 @@ func Check(current, baseline []Record, lim Limits) []string {
 			if limit := base.NsOp * lim.NsRatio; now.NsOp > limit {
 				bad = append(bad, fmt.Sprintf("%s: ns/op %.0f exceeds %.0f (baseline %.0f x %.2g, host_cpus %d)",
 					key, now.NsOp, limit, base.NsOp, lim.NsRatio, base.HostCPUs))
+			}
+		}
+		if lim.ClusterRatio > 0 && base.CellsPerSec > 0 && base.HostCPUs > 0 && base.HostCPUs == now.HostCPUs {
+			if floor := base.CellsPerSec / lim.ClusterRatio; now.CellsPerSec < floor {
+				bad = append(bad, fmt.Sprintf("%s: cells/sec %.2f below %.2f (baseline %.2f / %.2g, host_cpus %d)",
+					key, now.CellsPerSec, floor, base.CellsPerSec, lim.ClusterRatio, base.HostCPUs))
 			}
 		}
 	}

@@ -128,6 +128,38 @@ func TestSpeedupGateScansAllWorkerPairs(t *testing.T) {
 	}
 }
 
+func TestClusterThroughputGate(t *testing.T) {
+	cell := func(name string, cps float64, cpus int) Record {
+		return Record{Name: name, CellsPerSec: cps, HostCPUs: cpus}
+	}
+	base := []Record{cell("ClusterReshard/peerfill", 30, 1)}
+
+	// Within the generous ratio: 30/3 = 10 is the floor.
+	cur := []Record{cell("ClusterReshard/peerfill", 10.5, 1)}
+	if bad := Check(cur, base, DefaultLimits()); len(bad) != 0 {
+		t.Fatalf("in-budget throughput decay flagged: %v", bad)
+	}
+
+	// Below the floor — a peer-fill leg gone recompute-bound.
+	cur[0].CellsPerSec = 5
+	bad := Check(cur, base, DefaultLimits())
+	if len(bad) != 1 || !strings.Contains(bad[0], "cells/sec") {
+		t.Fatalf("30 -> 5 cells/sec not flagged: %v", bad)
+	}
+
+	// Different host CPU count: skipped, like ns/op.
+	cur[0].HostCPUs = 8
+	if bad := Check(cur, base, DefaultLimits()); len(bad) != 0 {
+		t.Fatalf("cross-host throughput comparison not skipped: %v", bad)
+	}
+
+	// go-test rows without cells_per_sec never trip the check.
+	if bad := Check([]Record{rec("BenchmarkSimRun/hybrid", 1e6, 600, 1)},
+		[]Record{rec("BenchmarkSimRun/hybrid", 1e6, 600, 1)}, DefaultLimits()); len(bad) != 0 {
+		t.Fatalf("benchmark rows hit the cluster gate: %v", bad)
+	}
+}
+
 func TestBaseNameStripsGOMAXPROCSSuffix(t *testing.T) {
 	base := []Record{rec("BenchmarkSimRun/hybrid", 1e6, 600, 0)}
 	cur := []Record{rec("BenchmarkSimRun/hybrid-8", 1e6, 600, 0)}

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,11 @@ type Config struct {
 	// DrainTimeout is how long Serve waits for in-flight requests on
 	// shutdown. Zero or negative means 10 s.
 	DrainTimeout time.Duration
+	// EvictAfterProbes is how many consecutive failed /healthz probes
+	// drop a replica from the cluster entirely — out of the sweep pool
+	// and out of every peer set (a dead process serves no peer fills).
+	// Zero means 3; negative disables probe-driven eviction.
+	EvictAfterProbes int
 	// HTTPClient issues the replica requests; nil means a client
 	// without an overall timeout (streams are bounded by
 	// StreamIdleTimeout instead).
@@ -100,6 +106,9 @@ func (c *Config) fillDefaults() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.EvictAfterProbes == 0 {
+		c.EvictAfterProbes = 3
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{}
 	}
@@ -113,49 +122,87 @@ func (c *Config) fillDefaults() {
 // ListenAndServe.
 type Coordinator struct {
 	cfg      Config
-	replicas []*Replica
 	mux      *http.ServeMux
 	metrics  *metrics
 	inflight chan struct{}
 	reqSeq   atomic.Int64
+
+	// poolMu guards the dynamic membership below. pool holds the
+	// replicas sweeps shard across. drained holds admin-removed
+	// replicas: out of every sweep, but still in every peer set, so
+	// their warm caches keep serving peer fills while their former
+	// keys re-home. failStreak counts consecutive failed health
+	// probes per URL, feeding EvictAfterProbes.
+	poolMu     sync.Mutex
+	pool       map[string]*Replica
+	drained    map[string]*Replica
+	failStreak map[string]int
 }
 
-// New builds a coordinator over cfg.Replicas.
+// New builds a coordinator over cfg.Replicas. Duplicate replica URLs
+// (after trailing-slash normalization) are a configuration error: a
+// doubled URL would silently skew the hash ring toward one process.
 func New(cfg Config) (*Coordinator, error) {
 	cfg.fillDefaults()
 	if len(cfg.Replicas) == 0 {
 		return nil, fmt.Errorf("cluster: no replicas configured")
 	}
 	c := &Coordinator{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		metrics:  newMetrics(),
-		inflight: make(chan struct{}, cfg.MaxInFlight),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		metrics:    newMetrics(),
+		inflight:   make(chan struct{}, cfg.MaxInFlight),
+		pool:       map[string]*Replica{},
+		drained:    map[string]*Replica{},
+		failStreak: map[string]int{},
 	}
-	seen := map[string]bool{}
 	for _, u := range cfg.Replicas {
 		r := newReplica(u, cfg.HTTPClient)
-		if r.URL == "" || seen[r.URL] {
-			continue
+		if r.URL == "" {
+			return nil, fmt.Errorf("cluster: empty replica URL in pool")
 		}
-		seen[r.URL] = true
-		c.replicas = append(c.replicas, r)
-	}
-	if len(c.replicas) == 0 {
-		return nil, fmt.Errorf("cluster: no usable replica URLs")
+		if _, dup := c.pool[r.URL]; dup {
+			return nil, fmt.Errorf("cluster: duplicate replica URL %q in pool", r.URL)
+		}
+		c.pool[r.URL] = r
 	}
 	c.mux.Handle("/healthz", c.instrument("healthz", http.MethodGet, false, c.handleHealthz))
 	c.mux.Handle("/metrics", c.instrument("metrics", http.MethodGet, false, c.handleMetrics))
 	c.mux.Handle("/v1/sweep", c.instrument("sweep", http.MethodPost, true, c.handleSweep))
+	getReplicas := c.instrument("replicas", http.MethodGet, false, c.handleReplicasGet)
+	postReplicas := c.instrument("replicas", http.MethodPost, false, c.handleReplicasUpdate)
+	c.mux.Handle("/v1/replicas", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			getReplicas.ServeHTTP(w, r)
+			return
+		}
+		postReplicas.ServeHTTP(w, r)
+	}))
 	return c, nil
 }
 
-// Replicas lists the configured pool.
+// Replicas lists the active pool (the replicas sweeps shard across),
+// sorted.
 func (c *Coordinator) Replicas() []string {
-	out := make([]string, len(c.replicas))
-	for i, r := range c.replicas {
-		out[i] = r.URL
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	return sortedKeys(c.pool)
+}
+
+// Drained lists the admin-removed replicas that still serve peer
+// fills, sorted.
+func (c *Coordinator) Drained() []string {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	return sortedKeys(c.drained)
+}
+
+func sortedKeys(m map[string]*Replica) []string {
+	out := make([]string, 0, len(m))
+	for u := range m {
+		out = append(out, u)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -209,7 +256,7 @@ func (c *Coordinator) ListenAndServe(ctx context.Context, addr string) error {
 		return fmt.Errorf("cluster: %w", err)
 	}
 	c.logf("drhwcoord: listening on %s (replicas=%d, vnodes=%d, idle=%v)",
-		l.Addr(), len(c.replicas), c.cfg.VNodes, c.cfg.StreamIdleTimeout)
+		l.Addr(), len(c.Replicas()), c.cfg.VNodes, c.cfg.StreamIdleTimeout)
 	return c.Serve(ctx, l)
 }
 
@@ -358,19 +405,36 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) erro
 	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
 	defer cancel()
 	tp := traceFrom(r.Context())
-	out := make([]ReplicaHealth, len(c.replicas))
+	type member struct {
+		rep     *Replica
+		drained bool
+	}
+	c.poolMu.Lock()
+	members := make([]member, 0, len(c.pool)+len(c.drained))
+	for _, rep := range c.pool {
+		members = append(members, member{rep, false})
+	}
+	for _, rep := range c.drained {
+		members = append(members, member{rep, true})
+	}
+	c.poolMu.Unlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].rep.URL < members[j].rep.URL })
+
+	out := make([]ReplicaHealth, len(members))
 	var wg sync.WaitGroup
-	for i, rep := range c.replicas {
+	for i, m := range members {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[i] = rep.Health(ctx, tp.Child().String())
+			out[i] = m.rep.Health(ctx, tp.Child().String())
+			out[i].Drained = m.drained
 		}()
 	}
 	wg.Wait()
+	c.noteProbes(out)
 	resp := HealthResponse{Status: "down", Replicas: out}
 	for _, h := range out {
-		if h.OK {
+		if h.OK && !h.Drained {
 			resp.Status = "ok"
 			break
 		}
@@ -384,9 +448,53 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) erro
 	return enc.Encode(resp)
 }
 
+// noteProbes feeds one /healthz round into the per-URL failure
+// streaks and evicts members whose streak reached EvictAfterProbes:
+// they leave the pool, the drained set, and every peer set — a dead
+// process serves no fills — and the shrunken peer set is pushed to
+// the survivors.
+func (c *Coordinator) noteProbes(probes []ReplicaHealth) {
+	if c.cfg.EvictAfterProbes < 0 {
+		return
+	}
+	var evicted []string
+	c.poolMu.Lock()
+	for _, h := range probes {
+		if h.OK {
+			delete(c.failStreak, h.URL)
+			continue
+		}
+		c.failStreak[h.URL]++
+		if c.failStreak[h.URL] < c.cfg.EvictAfterProbes {
+			continue
+		}
+		_, inPool := c.pool[h.URL]
+		_, inDrained := c.drained[h.URL]
+		if !inPool && !inDrained {
+			continue
+		}
+		delete(c.pool, h.URL)
+		delete(c.drained, h.URL)
+		delete(c.failStreak, h.URL)
+		evicted = append(evicted, h.URL)
+	}
+	c.poolMu.Unlock()
+	if len(evicted) == 0 {
+		return
+	}
+	for _, u := range evicted {
+		c.logf("drhwcoord: evicting replica %s after %d failed probes", u, c.cfg.EvictAfterProbes)
+		c.metrics.replicaEvicted()
+	}
+	c.pushPeers()
+}
+
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	c.metrics.render(w, len(c.replicas))
+	c.poolMu.Lock()
+	active, drained := len(c.pool), len(c.drained)
+	c.poolMu.Unlock()
+	c.metrics.render(w, active, drained)
 	return nil
 }
 
@@ -482,10 +590,15 @@ func (c *Coordinator) runSweep(parent context.Context, tp obs.TraceParent, grid 
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
+	// Snapshot the active pool: membership changes mid-sweep apply to
+	// the next sweep, not this one (a drained replica still finishes
+	// the shard it already holds).
 	live := map[string]*Replica{}
-	for _, r := range c.replicas {
-		live[r.URL] = r
+	c.poolMu.Lock()
+	for u, r := range c.pool {
+		live[u] = r
 	}
+	c.poolMu.Unlock()
 	delivered := make([]bool, grid.Cells())
 	pending := make([]int, len(grid.Values)) // value positions with undelivered cells
 	for vi := range pending {

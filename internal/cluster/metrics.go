@@ -21,6 +21,12 @@ type metrics struct {
 	cellRetries     int64                    // cells re-dispatched after a replica failure
 	replicaFailures int64                    // replica streams abandoned (error or idle timeout)
 	shards          int64                    // sub-sweeps issued (including retry waves)
+
+	replicasAdded    int64 // pool additions (hot-add and reactivation)
+	replicasRemoved  int64 // admin drains (pool → drained)
+	replicasEvicted  int64 // probe-driven evictions (dropped entirely)
+	peerPushes       int64 // successful /v1/peers pushes to members
+	peerPushFailures int64 // failed pushes (member falls back to compute)
 }
 
 func newMetrics() *metrics {
@@ -48,15 +54,46 @@ func (m *metrics) sweepDone(cells, retried, failures, shards int) {
 	m.shards += int64(shards)
 }
 
-// render writes the Prometheus text format. replicas is the configured
-// pool size.
-func (m *metrics) render(w io.Writer, replicas int) {
+func (m *metrics) replicaAdded() {
+	m.mu.Lock()
+	m.replicasAdded++
+	m.mu.Unlock()
+}
+
+func (m *metrics) replicaRemoved() {
+	m.mu.Lock()
+	m.replicasRemoved++
+	m.mu.Unlock()
+}
+
+func (m *metrics) replicaEvicted() {
+	m.mu.Lock()
+	m.replicasEvicted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) peerPush(ok bool) {
+	m.mu.Lock()
+	if ok {
+		m.peerPushes++
+	} else {
+		m.peerPushFailures++
+	}
+	m.mu.Unlock()
+}
+
+// render writes the Prometheus text format. replicas is the active
+// pool size; drained counts admin-removed members still serving peer
+// fills.
+func (m *metrics) render(w io.Writer, replicas, drained int) {
 	var buf bytes.Buffer
 	m.mu.Lock()
 	fmt.Fprintf(&buf, "# TYPE drhwcoord_uptime_seconds gauge\n")
 	fmt.Fprintf(&buf, "drhwcoord_uptime_seconds %g\n", time.Since(m.started).Seconds())
 	fmt.Fprintf(&buf, "# TYPE drhwcoord_replicas gauge\n")
 	fmt.Fprintf(&buf, "drhwcoord_replicas %d\n", replicas)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_replicas_drained gauge\n")
+	fmt.Fprintf(&buf, "drhwcoord_replicas_drained %d\n", drained)
 
 	endpoints := make([]string, 0, len(m.requests))
 	for ep := range m.requests {
@@ -85,6 +122,16 @@ func (m *metrics) render(w io.Writer, replicas int) {
 	fmt.Fprintf(&buf, "drhwcoord_replica_failures_total %d\n", m.replicaFailures)
 	fmt.Fprintf(&buf, "# TYPE drhwcoord_shards_total counter\n")
 	fmt.Fprintf(&buf, "drhwcoord_shards_total %d\n", m.shards)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_replicas_added_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_replicas_added_total %d\n", m.replicasAdded)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_replicas_removed_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_replicas_removed_total %d\n", m.replicasRemoved)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_replicas_evicted_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_replicas_evicted_total %d\n", m.replicasEvicted)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_peer_pushes_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_peer_pushes_total %d\n", m.peerPushes)
+	fmt.Fprintf(&buf, "# TYPE drhwcoord_peer_push_failures_total counter\n")
+	fmt.Fprintf(&buf, "drhwcoord_peer_push_failures_total %d\n", m.peerPushFailures)
 	m.mu.Unlock()
 	w.Write(buf.Bytes())
 }

@@ -41,6 +41,9 @@ type ReplicaHealth struct {
 	SpanID    string  `json:"span_id,omitempty"`
 	TraceID   string  `json:"trace_id,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Drained marks an admin-removed replica: probed and listed in
+	// peer sets, but taking no sweep shards.
+	Drained bool `json:"drained,omitempty"`
 }
 
 // Health probes the replica's /healthz under the given trace context
@@ -80,6 +83,32 @@ func (r *Replica) Health(ctx context.Context, traceparent string) ReplicaHealth 
 	h.Cache = body.Cache
 	h.TraceID = body.TraceID
 	return h
+}
+
+// PushPeers replaces the replica's peer-fill set via POST /v1/peers.
+// A 404 means the replica runs without peer fill (-peer-fill=false);
+// that is not a push failure — the replica simply computes everything
+// itself.
+func (r *Replica) PushPeers(ctx context.Context, peers []string) error {
+	body, err := json.Marshal(server.PeersRequest{Peers: peers})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.URL+"/v1/peers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("peers push returned %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // errStreamTruncated reports an NDJSON sweep stream that ended without

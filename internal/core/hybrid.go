@@ -85,6 +85,27 @@ type Analysis struct {
 // IsCritical reports whether a subtask belongs to the CS set.
 func (a *Analysis) IsCritical(id graph.SubtaskID) bool { return a.isCS[id] }
 
+// Rehydrate rebuilds the derived critical-subtask index after an
+// Analysis has been reconstructed from a serialized artifact (the
+// exported fields are the canonical state; isCS is derived from CS).
+// It validates that every CS member names a subtask of the schedule's
+// graph, so a decoded artifact can never panic IsCritical.
+func (a *Analysis) Rehydrate() error {
+	if a.Sched == nil || a.Sched.G == nil {
+		return errors.New("core: rehydrate: analysis has no schedule graph")
+	}
+	n := a.Sched.G.Len()
+	isCS := make([]bool, n)
+	for _, id := range a.CS {
+		if id < 0 || int(id) >= n {
+			return fmt.Errorf("core: rehydrate: critical subtask %d out of range [0,%d)", id, n)
+		}
+		isCS[id] = true
+	}
+	a.isCS = isCS
+	return nil
+}
+
 // CriticalFraction is the share of subtasks that are critical (the
 // paper reports 62% for the 3D application).
 func (a *Analysis) CriticalFraction() float64 {

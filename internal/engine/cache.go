@@ -74,6 +74,19 @@ func (c *lruStore) Get(key string) (*core.Analysis, bool) {
 	return nil, false
 }
 
+// GetLocal implements PeerGetter: a counter-free lookup for peer
+// probes. It still refreshes recency — an entry hot enough for a peer
+// to want is worth keeping.
+func (c *lruStore) GetLocal(key string) (*core.Analysis, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry).a, true
+	}
+	return nil, false
+}
+
 func (c *lruStore) Put(key string, a *core.Analysis) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -77,6 +77,11 @@ func (e *Engine) Workers() int { return e.workers }
 // CacheStats snapshots the analysis store's counters.
 func (e *Engine) CacheStats() CacheStats { return e.store.Stats() }
 
+// Store returns the analysis store the engine was built over, so
+// callers holding only the engine (the HTTP server, metrics renderers)
+// can reach backend-specific state such as tier counters.
+func (e *Engine) Store() Store { return e.store }
+
 // Analyze is the memoized core.Analyze: a store hit skips the
 // design-time phase entirely and returns the stored artifact.
 func (e *Engine) Analyze(s *assign.Schedule, p platform.Platform, opt core.Options) (*core.Analysis, error) {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"drhwsched/internal/core"
 )
 
@@ -24,6 +26,24 @@ type Store interface {
 	Put(key string, a *core.Analysis)
 	// Stats snapshots the store's counters.
 	Stats() CacheStats
+}
+
+// PeerGetter is implemented by stores that can answer a lookup from
+// locally-held entries only, without consulting remote tiers or
+// touching hit/miss accounting. The peer-fill HTTP endpoint uses it so
+// one replica asking another never recurses into a second network hop.
+type PeerGetter interface {
+	GetLocal(key string) (*core.Analysis, bool)
+}
+
+// FetchReporter is implemented by stores whose Get may itself reach
+// out to peers. Fetching reports whether the store currently has an
+// outbound fetch in flight for key; Engine.Peek uses it to break
+// peer-fetch cycles (A fetching from B while B fetches from A) by
+// answering from local state instead of waiting on a flight that is
+// itself waiting on the network.
+type FetchReporter interface {
+	Fetching(key string) bool
 }
 
 // flight is one in-progress analysis computation. The ready channel is
@@ -79,6 +99,57 @@ func (e *Engine) lookup(key string, compute func() (*core.Analysis, error)) (*co
 	}
 }
 
+// Peek answers a peer's artifact request: it returns the analysis
+// stored under key without ever computing one. If a local computation
+// for key is in flight, Peek waits for it (bounded by ctx), so a peer
+// asking during the owner's first compute is served the result instead
+// of a spurious miss — this is what keeps pool-wide work at one compute
+// per key. If instead the store itself is fetching key from peers, Peek
+// answers from local state immediately: waiting would re-enter the
+// network cycle it is being called from.
+//
+// Accounting: Peek bypasses hit/miss counters when the store supports
+// GetLocal (remote probes are not local workload), and never creates a
+// flight, so it cannot serialize or duplicate local work.
+func (e *Engine) Peek(ctx context.Context, key string) (*core.Analysis, bool) {
+	get := func() (*core.Analysis, bool) {
+		if pg, ok := e.store.(PeerGetter); ok {
+			return pg.GetLocal(key)
+		}
+		return e.store.Get(key)
+	}
+	for {
+		e.flightMu.Lock()
+		f := e.flights[key]
+		e.flightMu.Unlock()
+		if f == nil {
+			return get()
+		}
+		if fr, ok := e.store.(FetchReporter); ok && fr.Fetching(key) {
+			// The flight is stalled on an outbound peer fetch, possibly
+			// one that (transitively) asked us. Serve what we have.
+			return get()
+		}
+		select {
+		case <-f.ready:
+			if a, ok := get(); ok {
+				return a, true
+			}
+			// The flight failed, or its entry was already evicted. If a
+			// fresh flight took over, wait on that one too; otherwise
+			// report the miss.
+			e.flightMu.Lock()
+			_, again := e.flights[key]
+			e.flightMu.Unlock()
+			if !again {
+				return nil, false
+			}
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
 // land retires a flight: waiters are released after the result (or its
 // absence) is visible in the store.
 func (e *Engine) land(key string, f *flight) {
@@ -88,4 +159,7 @@ func (e *Engine) land(key string, f *flight) {
 	close(f.ready)
 }
 
-var _ Store = (*lruStore)(nil)
+var (
+	_ Store      = (*lruStore)(nil)
+	_ PeerGetter = (*lruStore)(nil)
+)

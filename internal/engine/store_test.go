@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drhwsched/internal/core"
+)
+
+// evictingStore wraps a capacity-1 LRU and races the retry loop: every
+// Put is immediately followed by a filler Put, so the entry the leader
+// just stored is gone by the time its waiter Gets it. This pins
+// lookup's evicted-between-Put-and-Get path (the `continue` retry).
+type evictingStore struct {
+	inner Store
+}
+
+func (s *evictingStore) Get(key string) (*core.Analysis, bool) { return s.inner.Get(key) }
+
+func (s *evictingStore) Put(key string, a *core.Analysis) {
+	s.inner.Put(key, a)
+	s.inner.Put("evictor-filler", a)
+}
+
+func (s *evictingStore) Stats() CacheStats { return s.inner.Stats() }
+
+// TestLookupRetriesAfterEviction: a waiter that wakes to find the
+// leader's entry already evicted must start over as a fresh lookup and
+// compute, not return a phantom miss or spin forever.
+func TestLookupRetriesAfterEviction(t *testing.T) {
+	e := New(Config{Workers: 1, Store: &evictingStore{inner: NewLRUStore(1)}})
+	dummy := &core.Analysis{}
+
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int64
+
+	type res struct {
+		a   *core.Analysis
+		hit bool
+		err error
+	}
+	leaderCh := make(chan res, 1)
+	go func() {
+		a, hit, err := e.lookup("k", func() (*core.Analysis, error) {
+			computes.Add(1)
+			close(leaderIn)
+			<-release
+			return dummy, nil
+		})
+		leaderCh <- res{a, hit, err}
+	}()
+	<-leaderIn
+
+	waiterCh := make(chan res, 1)
+	go func() {
+		a, hit, err := e.lookup("k", func() (*core.Analysis, error) {
+			computes.Add(1)
+			return dummy, nil
+		})
+		waiterCh <- res{a, hit, err}
+	}()
+	// Let the waiter park on the leader's flight, then finish the
+	// leader's compute; its Put is evicted before the waiter's Get.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	leader := <-leaderCh
+	if leader.err != nil || leader.a != dummy || leader.hit {
+		t.Fatalf("leader = %+v, want computed dummy miss", leader)
+	}
+	waiter := <-waiterCh
+	if waiter.err != nil || waiter.a != dummy {
+		t.Fatalf("waiter = %+v, want a successfully recomputed analysis", waiter)
+	}
+	// Whether the waiter parked in time or arrived after the flight
+	// landed, the evicting store forces it to compute for itself.
+	if got := computes.Load(); got != 2 {
+		t.Fatalf("computes = %d, want 2 (leader + retried waiter)", got)
+	}
+}
+
+// slowStore wraps a Store with artificial backend latency, standing in
+// for a remote tier.
+type slowStore struct {
+	inner Store
+	delay time.Duration
+}
+
+func (s *slowStore) Get(key string) (*core.Analysis, bool) {
+	time.Sleep(s.delay)
+	return s.inner.Get(key)
+}
+
+func (s *slowStore) Put(key string, a *core.Analysis) {
+	time.Sleep(s.delay)
+	s.inner.Put(key, a)
+}
+
+func (s *slowStore) Stats() CacheStats { return s.inner.Stats() }
+
+// TestSingleFlightOverSlowStore: single-flight lives in the engine,
+// above the Store, so even a slow remote-ish backend sees exactly one
+// compute and one Put for N concurrent lookups of one key.
+func TestSingleFlightOverSlowStore(t *testing.T) {
+	e := New(Config{Workers: 1, Store: &slowStore{inner: NewLRUStore(8), delay: 10 * time.Millisecond}})
+	dummy := &core.Analysis{}
+	var computes atomic.Int64
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, _, err := e.lookup("k", func() (*core.Analysis, error) {
+				computes.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return dummy, nil
+			})
+			if err == nil && a != dummy {
+				err = errors.New("served a different analysis")
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want 1", got)
+	}
+	stats := e.CacheStats()
+	if stats.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (only the computing leader)", stats.Misses)
+	}
+	if stats.Hits != n-1 {
+		t.Fatalf("hits = %d, want %d (every waiter served from the flight)", stats.Hits, n-1)
+	}
+}
+
+// TestPeekWaitsOnFlight: a peer probe arriving during the owner's
+// compute is served the result instead of a spurious miss.
+func TestPeekWaitsOnFlight(t *testing.T) {
+	e := New(Config{Workers: 1, CacheSize: 8})
+	dummy := &core.Analysis{}
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	go e.lookup("k", func() (*core.Analysis, error) {
+		close(started)
+		<-release
+		return dummy, nil
+	})
+	<-started
+
+	got := make(chan *core.Analysis, 1)
+	go func() {
+		a, _ := e.Peek(context.Background(), "k")
+		got <- a
+	}()
+	select {
+	case a := <-got:
+		t.Fatalf("Peek returned %v before the flight landed", a)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case a := <-got:
+		if a != dummy {
+			t.Fatalf("Peek = %v, want the flight's analysis", a)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Peek never returned after the flight landed")
+	}
+
+	// Absent key, no flight: an immediate miss, and never a compute.
+	if a, ok := e.Peek(context.Background(), "missing"); ok {
+		t.Fatalf("Peek fabricated %v for an absent key", a)
+	}
+
+	// A canceled context unparks a Peek waiting on a stuck flight.
+	go e.lookup("stuck", func() (*core.Analysis, error) {
+		select {} // never completes
+	})
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, ok := e.Peek(ctx, "stuck"); ok {
+		t.Fatalf("Peek reported a hit for a stuck flight")
+	}
+}

@@ -1,0 +1,66 @@
+package peerstore
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"drhwsched/internal/engine"
+)
+
+// KeyFromPath extracts the raw fingerprint key from a peer-endpoint
+// request path (PathPrefix + hex-encoded sha256 fingerprint).
+func KeyFromPath(path string) (string, error) {
+	hexKey := strings.TrimPrefix(path, PathPrefix)
+	if hexKey == path || hexKey == "" || strings.Contains(hexKey, "/") {
+		return "", fmt.Errorf("peerstore: path %q is not %s{fingerprint}", path, PathPrefix)
+	}
+	raw, err := hex.DecodeString(hexKey)
+	if err != nil {
+		return "", fmt.Errorf("peerstore: fingerprint %q is not hex: %v", hexKey, err)
+	}
+	if len(raw) != 32 {
+		return "", fmt.Errorf("peerstore: fingerprint is %d bytes, want 32", len(raw))
+	}
+	return string(raw), nil
+}
+
+// Serve answers one peer artifact request from eng: 200 with the
+// encoded envelope on a local hit (waiting on an in-flight compute via
+// Engine.Peek), 404 on a miss, 400 on a malformed fingerprint. It is
+// the shared core of the drhwd route and of Handler.
+func Serve(eng *engine.Engine, w http.ResponseWriter, r *http.Request) (status int, err error) {
+	key, err := KeyFromPath(r.URL.Path)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	a, ok := eng.Peek(r.Context(), key)
+	if !ok {
+		return http.StatusNotFound, fmt.Errorf("no analysis under fingerprint %s", strings.TrimPrefix(r.URL.Path, PathPrefix))
+	}
+	data, err := Encode(key, a)
+	if err != nil {
+		return http.StatusInternalServerError, err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, werr := w.Write(data)
+	return http.StatusOK, werr
+}
+
+// Handler wraps Serve as a bare http.Handler for embedding outside the
+// drhwd server (tests, sidecars). drhwd mounts the same logic through
+// its instrumented mux instead.
+func Handler(eng *engine.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if status, err := Serve(eng, w, r); err != nil && status != http.StatusOK {
+			http.Error(w, err.Error(), status)
+		}
+	})
+}

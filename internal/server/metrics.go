@@ -9,8 +9,16 @@ import (
 	"time"
 
 	"drhwsched/internal/engine"
+	"drhwsched/internal/peerstore"
 	"drhwsched/internal/sim"
 )
+
+// tierStatser is implemented by tiered analysis stores
+// (peerstore.Store): when the engine runs over one, /metrics gains the
+// per-tier hit counters and the peer-fill latency histogram.
+type tierStatser interface {
+	TierStats() peerstore.TierStats
+}
 
 // latencyBuckets are the histogram upper bounds in seconds. Analyses
 // return in microseconds-to-milliseconds; full simulations and sweeps
@@ -215,6 +223,32 @@ func (m *metrics) render(w io.Writer, eng *engine.Engine, inflight int) {
 	fmt.Fprintf(&buf, "drhwd_engine_cache_entries %d\n", st.Entries)
 	fmt.Fprintf(&buf, "# TYPE drhwd_engine_workers gauge\n")
 	fmt.Fprintf(&buf, "drhwd_engine_workers %d\n", eng.Workers())
+
+	// Tiered-store families (peer-fill replicas only). All three tier
+	// labels always render so rate() queries never see a series appear
+	// mid-scrape; the fetch histogram counts successful fills only —
+	// failures land in the error/reject counters.
+	if ts, ok := eng.Store().(tierStatser); ok {
+		t := ts.TierStats()
+		fmt.Fprintf(&buf, "# TYPE drhwd_store_tier_hits_total counter\n")
+		fmt.Fprintf(&buf, "drhwd_store_tier_hits_total{tier=\"local\"} %d\n", t.Local)
+		fmt.Fprintf(&buf, "drhwd_store_tier_hits_total{tier=\"peer\"} %d\n", t.Peer)
+		fmt.Fprintf(&buf, "drhwd_store_tier_hits_total{tier=\"compute\"} %d\n", t.Compute)
+		fmt.Fprintf(&buf, "# TYPE drhwd_store_peer_errors_total counter\n")
+		fmt.Fprintf(&buf, "drhwd_store_peer_errors_total %d\n", t.PeerErrors)
+		fmt.Fprintf(&buf, "# TYPE drhwd_store_artifacts_rejected_total counter\n")
+		fmt.Fprintf(&buf, "drhwd_store_artifacts_rejected_total %d\n", t.Rejected)
+		fmt.Fprintf(&buf, "# TYPE drhwd_store_peer_fetch_seconds histogram\n")
+		var cum int64
+		for i, le := range peerstore.FetchBucketBounds {
+			cum += t.FetchBuckets[i]
+			fmt.Fprintf(&buf, "drhwd_store_peer_fetch_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+		}
+		cum += t.FetchBuckets[len(peerstore.FetchBucketBounds)]
+		fmt.Fprintf(&buf, "drhwd_store_peer_fetch_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(&buf, "drhwd_store_peer_fetch_seconds_sum %g\n", t.FetchSumSeconds)
+		fmt.Fprintf(&buf, "drhwd_store_peer_fetch_seconds_count %d\n", t.FetchCount)
+	}
 
 	w.Write(buf.Bytes())
 }

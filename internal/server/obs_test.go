@@ -12,9 +12,11 @@ import (
 	"testing"
 	"time"
 
+	"drhwsched/internal/core"
 	"drhwsched/internal/engine"
 	"drhwsched/internal/model"
 	"drhwsched/internal/obs"
+	"drhwsched/internal/peerstore"
 	"drhwsched/internal/sim"
 )
 
@@ -61,8 +63,15 @@ func TestMetricsGolden(t *testing.T) {
 	m.observeSim(&sim.Result{Execution: "sequential"}, sim.AutoParallelism)
 	m.observeTraceDrops(5)
 
+	// A tiered store with deterministic traffic (one Put + local hit,
+	// one compute fall-through, no peers) pins the tier families too.
+	ps := peerstore.New(peerstore.Config{CacheSize: 4})
+	ps.Put("k", &core.Analysis{})
+	ps.Get("k")
+	ps.Get("absent")
+
 	var sb strings.Builder
-	m.render(&sb, engine.New(engine.Config{Workers: 2}), 0)
+	m.render(&sb, engine.New(engine.Config{Workers: 2, Store: ps}), 0)
 	got := sb.String()
 
 	want := `# TYPE drhwd_uptime_seconds gauge
@@ -124,15 +133,39 @@ drhwd_sim_isp_busy_seconds_total{isp="0"} 1.5
 # TYPE drhwd_trace_dropped_events_total counter
 drhwd_trace_dropped_events_total 5
 # TYPE drhwd_engine_cache_hits_total counter
-drhwd_engine_cache_hits_total 0
+drhwd_engine_cache_hits_total 1
 # TYPE drhwd_engine_cache_misses_total counter
-drhwd_engine_cache_misses_total 0
+drhwd_engine_cache_misses_total 1
 # TYPE drhwd_engine_cache_evictions_total counter
 drhwd_engine_cache_evictions_total 0
 # TYPE drhwd_engine_cache_entries gauge
-drhwd_engine_cache_entries 0
+drhwd_engine_cache_entries 1
 # TYPE drhwd_engine_workers gauge
 drhwd_engine_workers 2
+# TYPE drhwd_store_tier_hits_total counter
+drhwd_store_tier_hits_total{tier="local"} 1
+drhwd_store_tier_hits_total{tier="peer"} 0
+drhwd_store_tier_hits_total{tier="compute"} 1
+# TYPE drhwd_store_peer_errors_total counter
+drhwd_store_peer_errors_total 0
+# TYPE drhwd_store_artifacts_rejected_total counter
+drhwd_store_artifacts_rejected_total 0
+# TYPE drhwd_store_peer_fetch_seconds histogram
+drhwd_store_peer_fetch_seconds_bucket{le="0.0005"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="0.001"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="0.0025"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="0.005"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="0.01"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="0.025"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="0.05"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="0.1"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="0.25"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="0.5"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="1"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="2.5"} 0
+drhwd_store_peer_fetch_seconds_bucket{le="+Inf"} 0
+drhwd_store_peer_fetch_seconds_sum 0
+drhwd_store_peer_fetch_seconds_count 0
 `
 	if got != want {
 		t.Fatalf("metrics exposition drifted from the golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
@@ -146,7 +179,11 @@ drhwd_engine_workers 2
 // and feeds the live exposition to the strict validator, asserting the
 // new simulation families are present.
 func TestMetricsEndpointValidates(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	ps := peerstore.New(peerstore.Config{CacheSize: 64})
+	_, ts := newTestServer(t, Config{
+		Engine:    engine.New(engine.Config{Workers: 2, Store: ps}),
+		PeerStore: ps,
+	})
 	if resp, body := post(t, ts.URL+"/v1/simulate?trace=events", tracedDoc); resp.StatusCode != http.StatusOK {
 		t.Fatalf("traced simulate status = %d: %s", resp.StatusCode, body)
 	}
@@ -174,6 +211,12 @@ func TestMetricsEndpointValidates(t *testing.T) {
 		"drhwd_sim_reconfig_avoided_total ",
 		"drhwd_sim_peak_queued_instances ",
 		"drhwd_trace_dropped_events_total 0",
+		"drhwd_store_tier_hits_total{tier=\"local\"} ",
+		"drhwd_store_tier_hits_total{tier=\"peer\"} ",
+		"drhwd_store_tier_hits_total{tier=\"compute\"} ",
+		"drhwd_store_peer_errors_total ",
+		"drhwd_store_artifacts_rejected_total ",
+		"drhwd_store_peer_fetch_seconds_count ",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q\n%s", want, body)

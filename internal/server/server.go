@@ -52,6 +52,7 @@ import (
 
 	"drhwsched/internal/engine"
 	"drhwsched/internal/obs"
+	"drhwsched/internal/peerstore"
 )
 
 // Config sizes the service. The zero value is fully usable.
@@ -85,6 +86,11 @@ type Config struct {
 	// can verify which replica they reached and whether shard-cache
 	// affinity is holding. Empty means a random "drhwd-xxxxxxxx".
 	ReplicaID string
+	// PeerStore, when the engine runs over a tiered peerstore.Store,
+	// lets the coordinator update this replica's peer set live via
+	// POST /v1/peers. Nil disables that endpoint; the GET /v1/analysis
+	// peer endpoint serves from any engine store regardless.
+	PeerStore *peerstore.Store
 	// Logf receives lifecycle log lines (nil: silent). The "listening
 	// on HOST:PORT" line is a stable contract scripts grep for.
 	Logf func(format string, args ...any)
@@ -150,6 +156,12 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/analyze", s.instrument("analyze", http.MethodPost, true, s.handleAnalyze))
 	s.mux.Handle("/v1/simulate", s.instrument("simulate", http.MethodPost, true, s.handleSimulate))
 	s.mux.Handle("/v1/sweep", s.instrument("sweep", http.MethodPost, true, s.handleSweep))
+	// Peer-fill endpoints are control/fill plane, not workload: they
+	// bypass the admission slot pool (admit=false). An admitted peer
+	// fetch could deadlock two replicas sweeping at capacity — each
+	// holding its own slots while waiting for a slot on the other.
+	s.mux.Handle(peerstore.PathPrefix, s.instrument("analysis", http.MethodGet, false, s.handleAnalysisArtifact))
+	s.mux.Handle("/v1/peers", s.instrument("peers", http.MethodPost, false, s.handlePeers))
 	return s
 }
 
@@ -400,6 +412,9 @@ type HealthResponse struct {
 	Replica string    `json:"replica"`
 	Workers int       `json:"workers"`
 	Cache   CacheWire `json:"cache"`
+	// Store carries the tiered-store counters when the engine runs
+	// over a peer-fill store; absent on plain-LRU replicas.
+	Store *TierWire `json:"store,omitempty"`
 	// TraceID echoes the request's W3C trace context (accepted from
 	// the caller or minted here), so a coordinator health fan-out can
 	// stitch its replica probes into one trace.
@@ -407,13 +422,17 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
-	return writeJSON(w, HealthResponse{
+	resp := HealthResponse{
 		Status:  "ok",
 		Replica: s.cfg.ReplicaID,
 		Workers: s.eng.Workers(),
 		Cache:   cacheWire(s.eng.CacheStats()),
 		TraceID: traceFrom(r.Context()).TraceIDString(),
-	})
+	}
+	if ts, ok := s.eng.Store().(tierStatser); ok {
+		resp.Store = tierWire(ts.TierStats())
+	}
+	return writeJSON(w, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {

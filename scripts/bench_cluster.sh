@@ -14,9 +14,32 @@
 # host both rows tie — the replicas time-slice one CPU — so read the
 # ratio together with the host_cpus field the record carries.
 #
+# The re-shard legs measure cold-start elimination: a warm 2-replica
+# pool gets a third replica hot-added through POST /v1/replicas, and
+# the very next sweep is timed while roughly a third of the keys
+# re-home onto the cold process. The workload is analysis-heavy (a
+# wide fan-out at tight tile counts, few sim iterations), so the
+# ClusterReshard/peerfill row (third replica fetches the re-homed
+# analyses from its warm peers) against ClusterReshard/recompute
+# (-peer-fill=false, it recomputes them) isolates exactly what the
+# tiered store buys. Both legs pin the replicas to the same fixed
+# ports: the shard ring hashes replica URLs, so identical URLs mean
+# the identical keys re-home onto the third replica in both legs and
+# the rows differ only in how those keys are filled.
+#
+# When a committed BENCH_cluster.json baseline exists, cmd/benchgate
+# gates the fresh rows against it (same-host_cpus rows only; set
+# BENCH_GATE=0 to skip).
+#
 #   CLUSTER_OUT=path      output file (default BENCH_cluster.json)
 #   BENCH_VALUES=N        swept tile counts 2..N+1 (default 8 values)
 #   BENCH_ITERATIONS=N    sim iterations per cell (default 20000)
+#   RESHARD_ITERATIONS=N  sim iterations per re-shard cell (default 50)
+#   RESHARD_PORT=N        first of three fixed re-shard replica ports
+#                         (default 42736 — chosen so the hot-added
+#                         third replica's ring slice includes the
+#                         costly tile counts; other bases work but may
+#                         re-home only the cheap values)
 #   BENCH_WORKERS=N       engine workers per replica (default 1)
 set -eu
 cd "$(dirname "$0")/.."
@@ -24,11 +47,19 @@ cd "$(dirname "$0")/.."
 OUT="${CLUSTER_OUT:-BENCH_cluster.json}"
 NVALUES="${BENCH_VALUES:-8}"
 ITER="${BENCH_ITERATIONS:-20000}"
+RITER="${RESHARD_ITERATIONS:-50}"
+RPORT="${RESHARD_PORT:-42736}"
 WORKERS="${BENCH_WORKERS:-1}"
 CPUS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
 PIDS=""
 TMP="$(mktemp -d)"
 trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT
+
+# Stash the committed baseline before this run overwrites $OUT, so
+# the gate at the end compares fresh rows against it.
+if [ -f BENCH_cluster.json ]; then
+    cp BENCH_cluster.json "$TMP/baseline.json"
+fi
 
 echo "bench_cluster: building drhwd and drhwcoord"
 go build -o "$TMP/drhwd" ./cmd/drhwd
@@ -71,6 +102,48 @@ cat > "$TMP/sweep.json" <<EOF
 }
 EOF
 CELLS=$((NVALUES * 5))
+
+# The re-shard workload is analysis-heavy: a 12-subtask fan-out (one
+# source, eleven parallel middles) at the tight tile counts where the
+# exact branch-and-bound load search really branches — parallel
+# subtasks leave the load order unconstrained, unlike a chain whose
+# precedence forces one order, and tile counts 3..6 are where loads
+# contend hardest for the platform. 50 sim iterations keep simulation
+# negligible: per-cell cost is almost entirely the analysis, which is
+# the thing peer fill avoids redoing.
+cat > "$TMP/reshard.json" <<EOF
+{
+  "workload": {
+    "name": "reshard",
+    "platform": {"tiles": 4},
+    "sim": {"approach": "hybrid", "iterations": $RITER, "seed": 1},
+    "tasks": [{
+      "name": "fan",
+      "scenarios": [{
+        "subtasks": [
+          {"name": "src", "exec_ms": 5},
+          {"name": "p1", "exec_ms": 10}, {"name": "p2", "exec_ms": 12},
+          {"name": "p3", "exec_ms": 8},  {"name": "p4", "exec_ms": 14},
+          {"name": "p5", "exec_ms": 9},  {"name": "p6", "exec_ms": 11},
+          {"name": "p7", "exec_ms": 13}, {"name": "p8", "exec_ms": 7},
+          {"name": "p9", "exec_ms": 10}, {"name": "p10", "exec_ms": 12},
+          {"name": "p11", "exec_ms": 6}
+        ],
+        "edges": [
+          {"from": 0, "to": 1}, {"from": 0, "to": 2}, {"from": 0, "to": 3},
+          {"from": 0, "to": 4}, {"from": 0, "to": 5}, {"from": 0, "to": 6},
+          {"from": 0, "to": 7}, {"from": 0, "to": 8}, {"from": 0, "to": 9},
+          {"from": 0, "to": 10}, {"from": 0, "to": 11}
+        ]
+      }]
+    }]
+  },
+  "param": "tiles",
+  "values": [3, 4, 5, 6],
+  "approaches": ["no-prefetch", "design-time", "run-time", "run-time+inter-task", "hybrid"]
+}
+EOF
+RCELLS=20
 
 # wait_addr LOGFILE PID: echo the HOST:PORT the daemon logged.
 wait_addr() {
@@ -121,7 +194,68 @@ run_config() {
 
     secs="$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')"
     echo "bench_cluster: $name — $CELLS cells in ${secs}s"
-    echo "$name $n $secs $CELLS" >> "$TMP/rows"
+    echo "ClusterSweep/$name $n $secs $CELLS $ITER" >> "$TMP/rows"
+
+    for p in $pids; do kill "$p" 2>/dev/null || true; wait "$p" 2>/dev/null || true; done
+}
+
+# run_reshard NAME FILL: warm a 2-replica pool over the analysis-heavy
+# grid, hot-add a third replica (-peer-fill=FILL) through the admin
+# endpoint, and time the very next sweep — the one where the third
+# replica's freshly-assigned keys are cold. Replica ports are fixed
+# ($RPORT..$RPORT+2) so both legs shard identically.
+run_reshard() {
+    name="$1"
+    fill="$2"
+    pids=""
+    urls=""
+    r=0
+    while [ "$r" -lt 2 ]; do
+        "$TMP/drhwd" -addr "127.0.0.1:$((RPORT + r))" -workers "$WORKERS" 2>"$TMP/$name-r$r.log" &
+        pid=$!
+        PIDS="$PIDS $pid"
+        pids="$pids $pid"
+        addr="$(wait_addr "$TMP/$name-r$r.log" "$pid")"
+        urls="$urls${urls:+,}http://$addr"
+        r=$((r + 1))
+    done
+    "$TMP/drhwcoord" -addr 127.0.0.1:0 -replica "$urls" 2>"$TMP/$name-coord.log" &
+    cpid=$!
+    PIDS="$PIDS $cpid"
+    pids="$pids $cpid"
+    coord="$(wait_addr "$TMP/$name-coord.log" "$cpid")"
+
+    curl -fsS -X POST --data-binary @"$TMP/reshard.json" \
+        "http://$coord/v1/sweep" > "$TMP/$name-warm.ndjson"
+    grep -q '"done":true' "$TMP/$name-warm.ndjson" \
+        || { echo "bench_cluster: $name warm-up sweep cut short"; cat "$TMP/$name-coord.log"; exit 1; }
+
+    "$TMP/drhwd" -addr "127.0.0.1:$((RPORT + 2))" -workers "$WORKERS" -peer-fill="$fill" 2>"$TMP/$name-r2.log" &
+    pid=$!
+    PIDS="$PIDS $pid"
+    pids="$pids $pid"
+    addr3="$(wait_addr "$TMP/$name-r2.log" "$pid")"
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d "{\"add\": [\"http://$addr3\"]}" "http://$coord/v1/replicas" > /dev/null
+
+    t0="$(date +%s.%N 2>/dev/null || date +%s)"
+    curl -fsS -X POST --data-binary @"$TMP/reshard.json" \
+        "http://$coord/v1/sweep" > "$TMP/$name.ndjson"
+    t1="$(date +%s.%N 2>/dev/null || date +%s)"
+
+    grep -q '"done":true' "$TMP/$name.ndjson" \
+        || { echo "bench_cluster: $name re-shard sweep cut short"; cat "$TMP/$name-coord.log"; exit 1; }
+    got="$(grep -cv '"done":true' "$TMP/$name.ndjson")"
+    [ "$got" -eq "$RCELLS" ] \
+        || { echo "bench_cluster: $name returned $got cells, want $RCELLS"; exit 1; }
+    if [ "$fill" = "true" ]; then
+        curl -fsS "http://$addr3/metrics" | grep 'drhwd_store_tier_hits_total{tier="peer"}' | grep -qv ' 0$' \
+            || { echo "bench_cluster: $name re-shard never hit the peer tier"; exit 1; }
+    fi
+
+    secs="$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')"
+    echo "bench_cluster: $name — $RCELLS cells in ${secs}s after hot-add"
+    echo "ClusterReshard/$name 3 $secs $RCELLS $RITER" >> "$TMP/rows"
 
     for p in $pids; do kill "$p" 2>/dev/null || true; wait "$p" 2>/dev/null || true; done
 }
@@ -129,15 +263,21 @@ run_config() {
 : > "$TMP/rows"
 run_config replicas1 1
 run_config replicas2 2
+run_reshard peerfill true
+run_reshard recompute false
 
-awk -v iter="$ITER" -v workers="$WORKERS" -v cpus="$CPUS" '
+awk -v workers="$WORKERS" -v cpus="$CPUS" '
 BEGIN { printf "[\n" }
 {
     if (n++) printf ",\n"
-    printf "  {\"name\": \"ClusterSweep/%s\", \"replicas\": %s, \"workers_per_replica\": %s, \"host_cpus\": %s, \"cells\": %s, \"iterations_per_cell\": %s, \"seconds\": %s, \"cells_per_sec\": %.2f}",
-        $1, $2, workers, cpus, $4, iter, $3, $4 / $3
+    printf "  {\"name\": \"%s\", \"replicas\": %s, \"workers_per_replica\": %s, \"host_cpus\": %s, \"cells\": %s, \"iterations_per_cell\": %s, \"seconds\": %s, \"cells_per_sec\": %.2f}",
+        $1, $2, workers, cpus, $4, $5, $3, $4 / $3
 }
 END { printf "\n]\n" }
 ' "$TMP/rows" > "$OUT"
 echo "wrote $OUT"
 cat "$OUT"
+
+if [ "${BENCH_GATE:-1}" != "0" ] && [ -f "$TMP/baseline.json" ]; then
+    go run ./cmd/benchgate -current "$OUT" -baseline "$TMP/baseline.json"
+fi

@@ -1,5 +1,5 @@
 #!/bin/sh
-# smoke.sh — end-to-end smoke test, two legs:
+# smoke.sh — end-to-end smoke test, four legs:
 #
 #   1. single node: boot drhwd on an ephemeral port, drive it with
 #      drhwload for a few seconds, assert a 100% 2xx rate and non-zero
@@ -23,6 +23,12 @@
 #      execution marker and its worker count on the wire. Trace
 #      artifacts land in SMOKE_ARTIFACT_DIR (default: the run's tmp
 #      dir) for CI upload.
+#   4. hot-add + peer fill: a third replica is hot-added through the
+#      coordinator's POST /v1/replicas, then sweeps the already-warm
+#      grid itself. Every analysis must arrive through the peer tier:
+#      the cell set is byte-identical to a warm single node, the new
+#      replica's compute tier stays at zero, and the pool-wide engine
+#      miss total does not grow.
 #
 # CI runs this; `make loadtest` runs it locally.
 set -eu
@@ -237,6 +243,60 @@ for log in coord r1 r2; do
         || { echo "smoke: trace ID missing from $log log"; cat "$TMP/$log.log"; exit 1; }
 done
 echo "smoke: one traceparent spans coordinator and both replicas"
+
+# ---- leg 4: hot-add + peer fill ------------------------------------
+
+# Warm reference: the single node sweeps the same grid a second time,
+# so every cell reports a cache hit — the exact payload a fully warm
+# engine serves.
+curl -fsS -X POST --data-binary @"$TMP/sweep.json" "http://$SINGLE/v1/sweep" \
+    > "$TMP/single2.ndjson"
+grep -q '"done":true' "$TMP/single2.ndjson" || { echo "smoke: warm single-node sweep cut short"; exit 1; }
+grep -v '"done":true' "$TMP/single2.ndjson" | sort > "$TMP/single2.cells"
+
+# Engine misses (= analyses computed) across the pool before the
+# hot-add; they must not grow when the new replica fills from peers.
+misses() {
+    curl -fsS "http://$1/metrics" \
+        | sed -n 's/^drhwd_engine_cache_misses_total \([0-9][0-9]*\)$/\1/p'
+}
+PRE_MISSES=$(( $(misses "$R1") + $(misses "$R2") ))
+
+# Boot a third replica and hot-add it through the coordinator's admin
+# endpoint; the 200 means the coordinator has already pushed the new
+# peer set to all three members.
+"$TMP/drhwd" -addr 127.0.0.1:0 2>"$TMP/r3.log" &
+R3_PID=$!
+PIDS="$PIDS $R3_PID"
+R3="$(wait_addr "$TMP/r3.log" "$R3_PID")"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"add\": [\"http://$R3\"]}" "http://$COORD/v1/replicas" > "$TMP/add.json"
+grep -q "http://$R3" "$TMP/add.json" \
+    || { echo "smoke: admin add did not echo the new replica"; cat "$TMP/add.json"; exit 1; }
+curl -fsS "http://$COORD/healthz" | grep -q '"status": "ok"' \
+    || { echo "smoke: coordinator healthz not ok after hot-add"; exit 1; }
+
+# The cold replica sweeps the whole grid directly: every analysis it
+# needs is cached on a warm peer, so the sweep must come back
+# byte-identical to the warm single node — served entirely from the
+# peer tier, computing nothing anywhere.
+curl -fsS -X POST --data-binary @"$TMP/sweep.json" "http://$R3/v1/sweep" \
+    > "$TMP/r3.ndjson"
+grep -q '"done":true' "$TMP/r3.ndjson" || { echo "smoke: hot-added replica sweep cut short"; cat "$TMP/r3.log"; exit 1; }
+grep -v '"done":true' "$TMP/r3.ndjson" | sort > "$TMP/r3.cells"
+if ! diff -u "$TMP/single2.cells" "$TMP/r3.cells"; then
+    echo "smoke: hot-added replica cell set differs from warm single node"
+    exit 1
+fi
+curl -fsS "http://$R3/metrics" > "$TMP/r3.metrics"
+grep 'drhwd_store_tier_hits_total{tier="peer"}' "$TMP/r3.metrics" | grep -qv ' 0$' \
+    || { echo "smoke: hot-added replica recorded no peer-tier hits"; cat "$TMP/r3.metrics"; exit 1; }
+grep -q 'drhwd_store_tier_hits_total{tier="compute"} 0$' "$TMP/r3.metrics" \
+    || { echo "smoke: hot-added replica computed instead of peer-filling"; cat "$TMP/r3.metrics"; exit 1; }
+POST_MISSES=$(( $(misses "$R1") + $(misses "$R2") + $(misses "$R3") ))
+[ "$POST_MISSES" -eq "$PRE_MISSES" ] \
+    || { echo "smoke: pool misses grew $PRE_MISSES -> $POST_MISSES across the hot-add"; exit 1; }
+echo "smoke: hot-added replica served the sweep from the peer tier (cells identical, 0 new misses)"
 
 kill -TERM "$COORD_PID"
 wait "$COORD_PID" || { echo "smoke: drhwcoord exited non-zero on SIGTERM"; cat "$TMP/coord.log"; exit 1; }
